@@ -1,0 +1,24 @@
+"""EXP1 benchmark: I/O versus E for every algorithm (the headline comparison)."""
+
+from repro.experiments import exp_e_scaling
+
+
+def test_exp1_e_scaling(run_experiment):
+    table = run_experiment(exp_e_scaling)
+
+    edge_counts = table.column("E")
+    ours = table.column("cache_aware")
+    hu_tao_chung = table.column("hu_tao_chung")
+
+    # Shape check: Hu-Tao-Chung grows faster than our algorithm, so the
+    # ratio ours/htc must shrink as E grows (the sqrt(E/M) separation).
+    first_ratio = ours[0] / hu_tao_chung[0]
+    last_ratio = ours[-1] / hu_tao_chung[-1]
+    assert last_ratio < first_ratio
+
+    # The cubic BNLJ baseline must be far worse than everything else at the
+    # largest size it was run on.
+    bnlj_values = [value for value in table.column("bnlj") if value != "-"]
+    assert bnlj_values[-1] > 10 * ours[len(bnlj_values) - 1]
+
+    assert edge_counts == sorted(edge_counts)

@@ -1,0 +1,21 @@
+"""EXP2 benchmark: I/O versus internal memory M (the sqrt(M) improvement factor)."""
+
+from repro.experiments import exp_m_scaling
+
+
+def test_exp2_m_scaling(run_experiment):
+    table = run_experiment(exp_m_scaling)
+
+    ours = table.column("cache_aware")
+    hu_tao_chung = table.column("hu_tao_chung")
+
+    # More memory never hurts either algorithm.
+    assert ours == sorted(ours, reverse=True)
+    assert hu_tao_chung == sorted(hu_tao_chung, reverse=True)
+
+    # Hu-Tao-Chung benefits from memory about twice as fast (M^-1 vs M^-1/2):
+    # going from the smallest to the largest M, its I/Os must shrink by a
+    # larger factor than ours.
+    ours_shrink = ours[0] / ours[-1]
+    htc_shrink = hu_tao_chung[0] / hu_tao_chung[-1]
+    assert htc_shrink > ours_shrink

@@ -1,0 +1,23 @@
+"""EXP3 benchmark: the cache-oblivious algorithm under LRU cache simulation."""
+
+from repro.experiments import exp_cache_oblivious
+
+
+def test_exp3_cache_oblivious(run_experiment):
+    e_table, m_table = run_experiment(exp_cache_oblivious)
+
+    # E sweep: I/Os must grow strictly with E but far slower than quadratically
+    # (the separation from the E^2/(MB) baseline is the whole point).
+    ios = e_table.column("cache_oblivious")
+    edges = e_table.column("E")
+    assert ios == sorted(ios)
+    growth = ios[-1] / ios[0]
+    edge_growth = edges[-1] / edges[0]
+    assert growth < edge_growth**2
+
+    # M sweep: more cache never hurts, and the regularity-condition ratio
+    # Q(M)/Q(2M) stays bounded by a small constant.
+    m_ios = m_table.column("cache_oblivious")
+    assert m_ios == sorted(m_ios, reverse=True)
+    ratios = [value for value in m_table.column("Q(M)/Q(2M)") if value != "-"]
+    assert all(ratio < 8 for ratio in ratios)

@@ -1,0 +1,14 @@
+"""EXP4 benchmark: optimality gap against the Theorem 3 lower bound on cliques."""
+
+from repro.experiments import exp_lower_bound
+
+
+def test_exp4_lower_bound(run_experiment):
+    table = run_experiment(exp_lower_bound)
+
+    ratios = table.column("ratio")
+    # Never below the lower bound...
+    assert all(ratio >= 1 for ratio in ratios)
+    # ...and within a constant band across the sweep (tightness): the spread
+    # between the best and worst ratio stays small even as t grows by ~10x.
+    assert max(ratios) / min(ratios) < 3

@@ -1,0 +1,17 @@
+"""EXP5 benchmark: colour-coding balance (Lemma 3 and the derandomization)."""
+
+from repro.experiments import exp_coloring
+
+
+def test_exp5_coloring(run_experiment):
+    table = run_experiment(exp_coloring)
+
+    # Lemma 3: the seed-averaged collision statistic stays at or below E*M
+    # (value 1.0 in the table's normalised units), with a little slack for
+    # the finite number of seeds.
+    assert all(value <= 1.2 for value in table.column("mean X/EM (random)"))
+
+    # Section 4: the deterministic colouring stays below e * E * M and the
+    # greedy construction certified its potential at every level.
+    assert all(value <= 2.72 for value in table.column("X/EM (deterministic)"))
+    assert all(table.column("certified"))

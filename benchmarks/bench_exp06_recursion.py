@@ -1,0 +1,15 @@
+"""EXP6 benchmark: subproblem-size decay in the cache-oblivious recursion."""
+
+from repro.experiments import exp_recursion
+
+
+def test_exp6_recursion(run_experiment):
+    table = run_experiment(exp_recursion)
+
+    means = table.column("mean size")
+    # Lemma 4: the mean subproblem size decays strictly with depth, and from
+    # level 2 onwards the per-level decay factor is well below 1/2.
+    assert means == sorted(means, reverse=True)
+    decays = [value for value in table.column("decay vs previous") if value != "-"]
+    assert all(decay < 0.75 for decay in decays)
+    assert all(decay < 0.5 for decay in decays[1:])

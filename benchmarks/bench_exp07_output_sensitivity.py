@@ -1,0 +1,19 @@
+"""EXP7 benchmark: output sensitivity of the lower bound at comparable E."""
+
+from repro.experiments import exp_output_sensitivity
+
+
+def test_exp7_output_sensitivity(run_experiment):
+    table = run_experiment(exp_output_sensitivity)
+
+    triangles = table.column("t")
+    ios = table.column("cache_aware I/O")
+    ratios = [value for value in table.column("I/O / bound") if value != "-"]
+
+    # The workloads span triangle-free to clique; the upper bound depends
+    # only on E, so the measured I/Os stay within a small band...
+    assert max(ios) / min(ios) < 3
+    # ...while the gap to the output-sensitive lower bound shrinks
+    # monotonically in t (comparing the extremes).
+    assert ratios[-1] < ratios[0] / 10
+    assert max(triangles) > 100 * max(1, min(t for t in triangles if t > 0))

@@ -1,0 +1,20 @@
+"""EXP9 benchmark: work (RAM operations) versus E."""
+
+from repro.experiments import exp_work
+
+
+def test_exp9_work(run_experiment):
+    table = run_experiment(exp_work)
+
+    # The normalised work (operations / E^1.5) of the paper's cache-aware
+    # algorithm stays within a small constant band across the sweep, i.e. its
+    # work grows like E^{3/2} as claimed.
+    normalised = [
+        row_value
+        for algorithm, row_value in zip(
+            table.column("algorithm"), table.column("operations / E^1.5")
+        )
+        if algorithm == "cache_aware"
+    ]
+    assert max(normalised) / min(normalised) < 2.5
+    assert all(value < 10 for value in normalised)

@@ -1,0 +1,28 @@
+"""EXP10 benchmark: ablation of the high-degree phase on hub-heavy graphs."""
+
+from repro.experiments import exp_ablation
+
+
+def test_exp10_high_degree_ablation(run_experiment):
+    table = run_experiment(exp_ablation)
+
+    workloads = table.column("workload")
+    full_phase = table.column("full algo colour-phase I/O")
+    ablated_phase = table.column("ablated colour-phase I/O")
+    full_x = table.column("full X/EM")
+    ablated_x = table.column("ablated X/EM")
+
+    # Correctness of the ablated variant is part of the experiment.
+    assert all(table.column("triangles agree"))
+
+    for name, full_io, ablated_io, fx, ax in zip(
+        workloads, full_phase, ablated_phase, full_x, ablated_x
+    ):
+        if name.startswith("hub"):
+            # On the hub workload, skipping the high-degree phase inflates
+            # both the collision statistic and the colour-phase I/Os.
+            assert ax > 1.5 * fx
+            assert ablated_io > 1.5 * full_io
+        else:
+            # On a uniform random graph the phase is a no-op.
+            assert abs(ax - fx) < 1e-9

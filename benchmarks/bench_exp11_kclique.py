@@ -1,0 +1,26 @@
+"""EXP11 benchmark: the k-clique extension (paper Section 6)."""
+
+from repro.experiments import exp_kclique
+
+
+def test_exp11_kclique(run_experiment):
+    table = run_experiment(exp_kclique)
+
+    rows = list(zip(table.column("E"), table.column("k"), table.column("I/Os")))
+    by_k = {}
+    for num_edges, k, ios in rows:
+        by_k.setdefault(k, []).append((num_edges, ios))
+
+    for k, series in by_k.items():
+        series.sort()
+        ios = [value for _, value in series]
+        # I/Os grow with E but far more slowly than the naive E^k join.
+        assert ios == sorted(ios)
+        edge_growth = series[-1][0] / series[0][0]
+        assert ios[-1] / ios[0] < edge_growth**3
+
+    # 4-cliques are at least as expensive to find as triangles on the same input.
+    for num_edges in set(table.column("E")):
+        k3 = next(i for e, k, i in rows if e == num_edges and k == 3)
+        k4 = next(i for e, k, i in rows if e == num_edges and k == 4)
+        assert k4 >= k3

@@ -1,0 +1,17 @@
+"""EXP12 benchmark: per-level I/Os of one cache-oblivious run on a multilevel LRU hierarchy."""
+
+from repro.experiments import exp_multilevel
+
+
+def test_exp12_multilevel(run_experiment):
+    table = run_experiment(exp_multilevel)
+
+    # Every level of the multilevel replay must match its dedicated single-level run.
+    assert all(table.column("match"))
+
+    # Larger levels never see more I/Os (the LRU inclusion/stack property plus
+    # the regularity of the algorithm).
+    ios = table.column("I/Os (multilevel run)")
+    memories = table.column("M (words)")
+    ordered = [io for _, io in sorted(zip(memories, ios))]
+    assert ordered == sorted(ordered, reverse=True)

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one experiment of DESIGN.md Section 5 (the
+paper's "tables and figures").  Wall-clock time is what pytest-benchmark
+measures; the scientifically relevant output -- the result table with the
+simulated I/O counts -- is attached to ``benchmark.extra_info`` so that
+``--benchmark-json`` exports carry it.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment module once under pytest-benchmark and return its table(s)."""
+
+    def runner(module: Any, quick: bool = True, **kwargs: Any):
+        outcome = benchmark.pedantic(
+            module.run, kwargs={"quick": quick, **kwargs}, rounds=1, iterations=1
+        )
+        tables = outcome if isinstance(outcome, list) else [outcome]
+        benchmark.extra_info["experiment"] = module.EXPERIMENT_ID
+        benchmark.extra_info["claim"] = module.CLAIM
+        benchmark.extra_info["tables"] = [table.to_dict() for table in tables]
+        return outcome
+
+    return runner

@@ -1,0 +1,72 @@
+"""The paper's database motivation, end to end.
+
+A relation ``Sells(salesperson, brand, productType)`` in which every
+salesperson sells the cross product of a brand set and a type set is not in
+5th normal form: it equals the join of its three binary projections.  After
+normalising the schema into those projections, answering "who sells what?"
+means computing a 3-way cyclic join -- which is exactly triangle enumeration
+on the union of three bipartite graphs.
+
+The example builds a synthetic instance, verifies the join dependency,
+reconstructs the relation three ways (in-memory relational join, triangle
+enumeration with the paper's algorithm, triangle enumeration with a
+block-nested-loop join plan) and compares the simulated I/O costs.
+
+Run with::
+
+    python examples/database_join.py
+"""
+
+import itertools
+import random
+
+from repro import MachineParams
+from repro.joins.fifth_normal_form import decompose_sells, is_join_dependent
+from repro.joins.relation import Relation
+from repro.joins.triangle_join import triangle_join
+
+
+def build_sells(num_salespeople: int = 60, num_brands: int = 25, num_types: int = 20) -> Relation:
+    """A Sells relation where each salesperson sells brands x product types.
+
+    Every salesperson is assigned a random brand set and a random type set
+    and sells their cross product, so the relation satisfies the join
+    dependency over its three binary projections (i.e. it is not in 5NF).
+    """
+    rng = random.Random(2014)
+    brands = [f"brand{i}" for i in range(num_brands)]
+    types = [f"type{i}" for i in range(num_types)]
+    sells = Relation("Sells", ("salesperson", "brand", "productType"))
+    for person_index in range(num_salespeople):
+        person = f"sales{person_index}"
+        own_brands = rng.sample(brands, k=rng.randint(2, 6))
+        own_types = rng.sample(types, k=rng.randint(2, 6))
+        for brand, product_type in itertools.product(own_brands, own_types):
+            sells.add((person, brand, product_type))
+    return sells
+
+
+def main() -> None:
+    sells = build_sells()
+    print(f"Sells has {len(sells)} tuples over {sells.attributes}")
+    print(f"join dependency over the three binary projections holds: {is_join_dependent(sells)}")
+
+    sb, bt, st = decompose_sells(sells)
+    print(f"decomposed into SB ({len(sb)}), BT ({len(bt)}), ST ({len(st)}) tuples")
+    print()
+
+    params = MachineParams(memory_words=128, block_words=16)
+    ours_relation, ours = triangle_join(sb, bt, st, algorithm="cache_aware", params=params)
+    bnlj_relation, bnlj = triangle_join(sb, bt, st, algorithm="bnlj", params=params)
+
+    print(f"reconstructed Sells via triangle enumeration: {len(ours_relation)} tuples")
+    print(f"matches the original relation: {ours_relation.rows() == sells.rows()}")
+    print()
+    print("simulated I/O cost of the two query plans on the same (M, B) machine:")
+    print(f"  triangle enumeration (paper, Section 2): {ours.io.total:6d} I/Os")
+    print(f"  pipelined block-nested-loop join plan:   {bnlj.io.total:6d} I/Os")
+    print(f"  plans agree on the answer: {ours_relation.rows() == bnlj_relation.rows()}")
+
+
+if __name__ == "__main__":
+    main()

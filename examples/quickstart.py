@@ -1,0 +1,44 @@
+"""Quickstart: enumerate the triangles of a small graph and read the I/O meter.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example builds a small random graph, enumerates its triangles with the
+paper's cache-aware algorithm on a simulated external-memory machine
+(M = 256 words, B = 16 words), and compares the simulated I/O count with the
+Theorem 3 lower bound and with the Hu-Tao-Chung baseline.
+"""
+
+from repro import MachineParams, enumerate_triangles
+from repro.analysis.bounds import lower_bound_io
+from repro.graph.generators import erdos_renyi_gnm
+
+
+def main() -> None:
+    graph = erdos_renyi_gnm(num_vertices=400, num_edges=2000, seed=7)
+    params = MachineParams(memory_words=256, block_words=16)
+
+    result = enumerate_triangles(graph, algorithm="cache_aware", params=params, seed=1)
+    print(f"graph: {graph.num_vertices} vertices, {result.num_edges} edges")
+    print(f"triangles found: {result.triangle_count}")
+    print("first five triangles:", sorted(tuple(sorted(t)) for t in result.triangles)[:5])
+    print()
+    print(f"simulated I/Os (cache-aware, Section 2): {result.io.total}")
+    print(f"  reads={result.io.reads}  writes={result.io.writes}")
+    print(f"  peak disk usage: {result.disk_peak_words} words (input is {result.num_edges})")
+
+    bound = lower_bound_io(result.triangle_count, params)
+    print(f"Theorem 3 lower bound for this output size: {bound:.0f} I/Os")
+
+    baseline = enumerate_triangles(graph, algorithm="hu_tao_chung", params=params, collect=False)
+    print(f"Hu-Tao-Chung baseline (SIGMOD'13): {baseline.io.total} I/Os")
+    print()
+    print(
+        "The separation grows as E/M grows: rerun with a larger graph or a smaller "
+        "memory to watch the sqrt(E/M) factor of the paper appear."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Triangle analysis of a skewed "social network" graph.
+
+Triangle enumeration is the workhorse behind clustering coefficients,
+community detection and friend-of-friend analyses (the applications cited in
+the paper's introduction).  This example builds a preferential-attachment
+graph (heavy-tailed degrees, like a social network), streams its triangles
+through a custom sink that accumulates per-vertex triangle counts, and
+reports the most "clustered" members -- while also showing what the run
+would have cost on an external-memory machine, for each algorithm.
+
+Run with::
+
+    python examples/social_network.py
+"""
+
+from collections import Counter
+
+from repro import MachineParams, enumerate_triangles
+from repro.graph.generators import barabasi_albert
+
+
+class TriangleCensus:
+    """A sink that counts, for every vertex, the triangles it participates in."""
+
+    def __init__(self) -> None:
+        self.per_vertex: Counter = Counter()
+        self.total = 0
+
+    def emit(self, a, b, c) -> None:
+        self.total += 1
+        self.per_vertex[a] += 1
+        self.per_vertex[b] += 1
+        self.per_vertex[c] += 1
+
+
+def clustering_coefficient(triangles: int, degree: int) -> float:
+    """Local clustering coefficient from a triangle count and a degree."""
+    if degree < 2:
+        return 0.0
+    return 2.0 * triangles / (degree * (degree - 1))
+
+
+def main() -> None:
+    graph = barabasi_albert(num_vertices=600, edges_per_vertex=4, seed=11)
+    params = MachineParams(memory_words=256, block_words=16)
+
+    census = TriangleCensus()
+    result = enumerate_triangles(
+        graph, algorithm="cache_aware", params=params, seed=0, sink=census, collect=False
+    )
+    print(f"network: {graph.num_vertices} members, {result.num_edges} friendships")
+    print(f"triangles (closed friend trios): {census.total}")
+    print()
+
+    print("most embedded members (triangles, degree, clustering coefficient):")
+    for vertex, triangles in census.per_vertex.most_common(5):
+        degree = graph.degree(vertex)
+        coefficient = clustering_coefficient(triangles, degree)
+        print(f"  member {vertex:4d}: {triangles:5d} triangles, degree {degree:3d}, C = {coefficient:.3f}")
+    print()
+
+    print("simulated external-memory cost of the same analysis, by algorithm:")
+    for algorithm in ("cache_aware", "deterministic", "cache_oblivious", "hu_tao_chung", "dementiev"):
+        run = enumerate_triangles(
+            graph, algorithm=algorithm, params=params, seed=0, collect=False
+        )
+        print(
+            f"  {algorithm:16s} {run.io.total:8d} I/Os   "
+            f"({run.wall_time_seconds:.2f}s simulated on this laptop)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in fully offline environments (pip falls back to
+the legacy editable-install path, which needs no network access to fetch a
+build backend).
+"""
+
+from setuptools import setup
+
+setup()

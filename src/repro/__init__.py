@@ -1,0 +1,51 @@
+"""Reproduction of *The Input/Output Complexity of Triangle Enumeration*.
+
+This package reimplements, in pure Python, the algorithms and analysis of
+Pagh & Silvestri (PODS 2014) together with every substrate they rely on:
+
+* :mod:`repro.extmem` -- a simulated external-memory machine that counts
+  block transfers, with both an explicit (cache-aware) interface and a
+  cache-oblivious virtual machine backed by an LRU block cache.
+* :mod:`repro.hashing` -- 4-wise independent hash families, ``GF(2^m)``
+  arithmetic and the AGHP small-bias sample space used for derandomization.
+* :mod:`repro.graph` -- graph representation, degree ordering and workload
+  generators.
+* :mod:`repro.core` -- the paper's triangle-enumeration algorithms
+  (cache-aware randomized, cache-aware deterministic, cache-oblivious
+  randomized) plus the external-memory baselines they are compared against.
+* :mod:`repro.joins` -- the database motivation: 3-way cyclic joins computed
+  via triangle enumeration.
+* :mod:`repro.analysis` -- closed-form I/O bounds and measurement
+  verification helpers.
+* :mod:`repro.experiments` -- the experiment harness reproducing every
+  quantitative claim of the paper.
+
+The most convenient entry point is :func:`repro.enumerate_triangles`.
+"""
+
+from repro.analysis.model import MachineParams
+from repro.core.api import (
+    ALGORITHMS,
+    count_triangles,
+    enumerate_triangles,
+    list_algorithms,
+)
+from repro.core.emit import CollectingSink, CountingSink, Triangle
+from repro.extmem.stats import IOStats
+from repro.graph.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "CollectingSink",
+    "CountingSink",
+    "Graph",
+    "IOStats",
+    "MachineParams",
+    "Triangle",
+    "__version__",
+    "count_triangles",
+    "enumerate_triangles",
+    "list_algorithms",
+]

@@ -1,0 +1,30 @@
+"""Cost model, closed-form I/O bounds and measurement verification."""
+
+from repro.analysis.bounds import (
+    bnlj_io,
+    cache_aware_io,
+    cache_oblivious_io,
+    dementiev_io,
+    hu_tao_chung_io,
+    lower_bound_io,
+    scan_io,
+    sort_io,
+    work_upper_bound,
+)
+from repro.analysis.model import MachineParams
+from repro.analysis.verification import fit_power_law, ratio_series
+
+__all__ = [
+    "MachineParams",
+    "bnlj_io",
+    "cache_aware_io",
+    "cache_oblivious_io",
+    "dementiev_io",
+    "fit_power_law",
+    "hu_tao_chung_io",
+    "lower_bound_io",
+    "ratio_series",
+    "scan_io",
+    "sort_io",
+    "work_upper_bound",
+]

@@ -1,0 +1,80 @@
+"""Machine parameters for the external-memory model.
+
+The external-memory (I/O) model of Aggarwal & Vitter has two parameters: the
+internal-memory capacity ``M`` and the block size ``B``, both measured here
+in records ("words", see DESIGN.md).  :class:`MachineParams` bundles and
+validates them and is shared by the explicit machine, the cache-oblivious VM
+and the closed-form bounds in :mod:`repro.analysis.bounds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidConfigurationError
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """External-memory machine parameters ``(M, B)`` in words.
+
+    Attributes
+    ----------
+    memory_words:
+        Internal-memory capacity ``M``.
+    block_words:
+        Block transfer size ``B``.
+    """
+
+    memory_words: int
+    block_words: int
+
+    def __post_init__(self) -> None:
+        if self.block_words < 1:
+            raise InvalidConfigurationError(
+                f"block size must be at least one word, got {self.block_words}"
+            )
+        if self.memory_words < self.block_words:
+            raise InvalidConfigurationError(
+                f"internal memory ({self.memory_words}) must hold at least one block "
+                f"({self.block_words})"
+            )
+        if self.memory_words < 2 * self.block_words:
+            raise InvalidConfigurationError(
+                "internal memory must hold at least two blocks for merging "
+                f"(M={self.memory_words}, B={self.block_words})"
+            )
+
+    @property
+    def blocks_in_memory(self) -> int:
+        """``M / B``: the number of blocks that fit in internal memory."""
+        return self.memory_words // self.block_words
+
+    @property
+    def is_tall_cache(self) -> bool:
+        """Whether the tall-cache assumption ``M >= B^2`` holds.
+
+        The paper (and cache-oblivious sorting in general) assumes a tall
+        cache; the simulator does not *enforce* it, but experiments use
+        configurations that satisfy it.
+        """
+        return self.memory_words >= self.block_words * self.block_words
+
+    def scaled_memory(self, factor: float) -> "MachineParams":
+        """Return a copy with the memory capacity scaled by ``factor``.
+
+        Used by the regularity-condition experiment (``Q(n, M, B) =
+        O(Q(n, 2M, B))``).
+        """
+        return MachineParams(
+            memory_words=max(2 * self.block_words, int(self.memory_words * factor)),
+            block_words=self.block_words,
+        )
+
+    @classmethod
+    def default(cls) -> "MachineParams":
+        """A small default configuration suitable for tests and examples."""
+        return cls(memory_words=512, block_words=16)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(M={self.memory_words}, B={self.block_words})"

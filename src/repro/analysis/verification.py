@@ -1,0 +1,86 @@
+"""Helpers for comparing measured I/O counts against the paper's bounds.
+
+The experiments never try to match absolute constants; instead they verify
+*shapes*:
+
+* :func:`ratio_series` -- the measured/predicted ratio along a parameter
+  sweep should stay inside a bounded band if the asymptotic form is right;
+* :func:`fit_power_law` -- a log-log least-squares slope, used e.g. to check
+  that I/Os grow like ``E^{1.5}`` for our algorithms versus ``E^2`` for the
+  Hu-Tao-Chung baseline, or shrink like ``M^{-1/2}`` versus ``M^{-1}``.
+
+Implemented with plain Python so the core library keeps zero dependencies;
+``numpy`` is available in the environment but not required.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a log-log linear regression ``y ~ scale * x^exponent``."""
+
+    exponent: float
+    scale: float
+    r_squared: float
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = scale * x^exponent`` by least squares in log-log space.
+
+    Raises ``ValueError`` for fewer than two points or non-positive values,
+    which cannot be log-transformed.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} vs {len(ys)}")
+    if len(xs) < 2:
+        raise ValueError("a power-law fit needs at least two points")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fits require strictly positive data")
+
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(y) for y in ys]
+    n = len(log_x)
+    mean_x = sum(log_x) / n
+    mean_y = sum(log_y) / n
+    ss_xx = sum((x - mean_x) ** 2 for x in log_x)
+    ss_xy = sum((x - mean_x) * (y - mean_y) for x, y in zip(log_x, log_y))
+    if ss_xx == 0:
+        raise ValueError("all x values are identical; exponent is undefined")
+    exponent = ss_xy / ss_xx
+    intercept = mean_y - exponent * mean_x
+    predictions = [intercept + exponent * x for x in log_x]
+    ss_res = sum((y - p) ** 2 for y, p in zip(log_y, predictions))
+    ss_tot = sum((y - mean_y) ** 2 for y in log_y)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(exponent=exponent, scale=math.exp(intercept), r_squared=r_squared)
+
+
+def ratio_series(measured: Sequence[float], predicted: Sequence[float]) -> list[float]:
+    """Element-wise measured/predicted ratios (``inf`` where predicted is zero)."""
+    if len(measured) != len(predicted):
+        raise ValueError(f"series length mismatch: {len(measured)} vs {len(predicted)}")
+    ratios: list[float] = []
+    for m, p in zip(measured, predicted):
+        ratios.append(math.inf if p == 0 else m / p)
+    return ratios
+
+
+def bounded_ratio_band(ratios: Sequence[float]) -> float:
+    """Spread of a ratio series: max/min.  Small spread means matching shape."""
+    finite = [r for r in ratios if math.isfinite(r) and r > 0]
+    if not finite:
+        return math.inf
+    return max(finite) / min(finite)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0 if the sequence is empty)."""
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))

@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+Four subcommands cover the everyday uses of the library:
+
+``repro enumerate GRAPH``
+    Enumerate the triangles of an edge-list file on a simulated machine and
+    print the count, the I/O meter and (optionally) the triangles.
+
+``repro compare GRAPH``
+    Run several algorithms on the same file and print an I/O comparison
+    table -- a one-command version of experiment EXP1 on your own data.
+
+``repro stats GRAPH``
+    Triangle-based statistics: per-vertex counts, clustering coefficients,
+    transitivity.
+
+``repro generate KIND``
+    Write a synthetic workload (random / clique / tripartite / planted) to
+    an edge-list file, for experimentation without external data.
+
+``repro experiments ...``
+    Forwarded to :mod:`repro.experiments.run_all`.
+
+The simulated machine is configured with ``--memory`` and ``--block``
+(in words, i.e. records); see DESIGN.md for the cost model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import __version__
+from repro.analysis.model import MachineParams
+from repro.core.api import ALGORITHMS, enumerate_triangles
+from repro.graph.files import read_edge_list, write_edge_list
+from repro.graph.generators import clique, complete_tripartite, erdos_renyi_gnm, planted_triangles
+from repro.graph.metrics import clustering_coefficients, transitivity, triangle_statistics
+
+_EXTERNAL_ALGORITHMS = ("cache_aware", "deterministic", "hu_tao_chung", "dementiev", "bnlj")
+
+
+def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--memory", type=int, default=512, help="internal memory M in words (default 512)")
+    parser.add_argument("--block", type=int, default=16, help="block size B in words (default 16)")
+    parser.add_argument("--seed", type=int, default=0, help="seed for randomized algorithms")
+
+
+def _machine_params(arguments: argparse.Namespace) -> MachineParams:
+    return MachineParams(memory_words=arguments.memory, block_words=arguments.block)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Triangle enumeration in external memory (Pagh & Silvestri, PODS 2014).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    enumerate_parser = subparsers.add_parser("enumerate", help="enumerate triangles of an edge-list file")
+    enumerate_parser.add_argument("graph", help="path to a whitespace-separated edge-list file")
+    enumerate_parser.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="cache_aware", help="enumeration algorithm"
+    )
+    enumerate_parser.add_argument(
+        "--print-triangles", action="store_true", help="print every triangle (can be large)"
+    )
+    _add_machine_arguments(enumerate_parser)
+
+    compare_parser = subparsers.add_parser("compare", help="compare algorithms' simulated I/O on one file")
+    compare_parser.add_argument("graph", help="path to a whitespace-separated edge-list file")
+    compare_parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=sorted(ALGORITHMS),
+        default=list(_EXTERNAL_ALGORITHMS),
+        help="algorithms to compare",
+    )
+    _add_machine_arguments(compare_parser)
+
+    stats_parser = subparsers.add_parser("stats", help="triangle statistics and clustering coefficients")
+    stats_parser.add_argument("graph", help="path to a whitespace-separated edge-list file")
+    stats_parser.add_argument("--top", type=int, default=10, help="how many top vertices to print")
+    stats_parser.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="cache_aware", help="enumeration algorithm"
+    )
+    _add_machine_arguments(stats_parser)
+
+    generate_parser = subparsers.add_parser("generate", help="write a synthetic edge-list file")
+    generate_parser.add_argument(
+        "kind", choices=("random", "clique", "tripartite", "planted"), help="workload family"
+    )
+    generate_parser.add_argument("--output", required=True, help="output edge-list path")
+    generate_parser.add_argument("--vertices", type=int, default=300, help="number of vertices (random)")
+    generate_parser.add_argument("--edges", type=int, default=900, help="number of edges (random)")
+    generate_parser.add_argument("--size", type=int, default=30, help="clique size / tripartite part size")
+    generate_parser.add_argument("--triangles", type=int, default=50, help="planted triangle count")
+    generate_parser.add_argument("--seed", type=int, default=0, help="generator seed")
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="run the paper-reproduction experiments (see DESIGN.md §5)"
+    )
+    experiments_parser.add_argument("arguments", nargs=argparse.REMAINDER, help="arguments for run_all")
+
+    return parser
+
+
+def _command_enumerate(arguments: argparse.Namespace) -> int:
+    graph = read_edge_list(arguments.graph)
+    params = _machine_params(arguments)
+    result = enumerate_triangles(
+        graph,
+        algorithm=arguments.algorithm,
+        params=params,
+        seed=arguments.seed,
+        collect=arguments.print_triangles,
+    )
+    print(f"graph: {result.num_vertices} vertices, {result.num_edges} edges")
+    print(f"algorithm: {arguments.algorithm}  machine: M={params.memory_words}, B={params.block_words}")
+    print(f"triangles: {result.triangle_count}")
+    print(f"simulated I/Os: {result.io.total} (reads {result.io.reads}, writes {result.io.writes})")
+    print(f"peak disk usage: {result.disk_peak_words} words")
+    if arguments.print_triangles and result.triangles is not None:
+        for triangle in result.triangles:
+            print("\t".join(str(v) for v in triangle))
+    return 0
+
+
+def _command_compare(arguments: argparse.Namespace) -> int:
+    graph = read_edge_list(arguments.graph)
+    params = _machine_params(arguments)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+    print(f"machine: M={params.memory_words}, B={params.block_words}")
+    print(f"{'algorithm':16s} {'triangles':>10s} {'I/Os':>12s} {'reads':>10s} {'writes':>10s}")
+    for algorithm in arguments.algorithms:
+        result = enumerate_triangles(
+            graph, algorithm=algorithm, params=params, seed=arguments.seed, collect=False
+        )
+        print(
+            f"{algorithm:16s} {result.triangle_count:10d} {result.io.total:12d} "
+            f"{result.io.reads:10d} {result.io.writes:10d}"
+        )
+    return 0
+
+
+def _command_stats(arguments: argparse.Namespace) -> int:
+    graph = read_edge_list(arguments.graph)
+    params = _machine_params(arguments)
+    statistics = triangle_statistics(
+        graph, algorithm=arguments.algorithm, params=params, seed=arguments.seed
+    )
+    coefficients = clustering_coefficients(graph, statistics)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+    print(f"triangles: {statistics.triangle_count}")
+    print(f"transitivity: {transitivity(graph, statistics):.4f}")
+    average = sum(coefficients.values()) / len(coefficients) if coefficients else 0.0
+    print(f"average clustering coefficient: {average:.4f}")
+    print(f"simulated I/Os: {statistics.simulated_ios}")
+    print(f"top {arguments.top} vertices by triangle participation:")
+    for vertex, count in statistics.per_vertex.most_common(arguments.top):
+        print(f"  {vertex}\t{count} triangles\tC={coefficients.get(vertex, 0.0):.3f}")
+    return 0
+
+
+def _command_generate(arguments: argparse.Namespace) -> int:
+    if arguments.kind == "random":
+        graph = erdos_renyi_gnm(arguments.vertices, arguments.edges, seed=arguments.seed)
+        description = f"Erdos-Renyi G(n={arguments.vertices}, m={arguments.edges}), seed={arguments.seed}"
+    elif arguments.kind == "clique":
+        graph = clique(arguments.size)
+        description = f"clique on {arguments.size} vertices"
+    elif arguments.kind == "tripartite":
+        graph = complete_tripartite(arguments.size, arguments.size, arguments.size)
+        description = f"complete tripartite with parts of {arguments.size}"
+    else:
+        graph = planted_triangles(
+            arguments.triangles, filler_bipartite_edges=arguments.edges, seed=arguments.seed
+        )
+        description = f"{arguments.triangles} planted triangles plus bipartite filler"
+    write_edge_list(graph, arguments.output, header=[f"generated by repro: {description}"])
+    print(f"wrote {graph.num_edges} edges ({description}) to {arguments.output}")
+    return 0
+
+
+def _command_experiments(arguments: argparse.Namespace) -> int:
+    from repro.experiments.run_all import main as run_all_main
+
+    return run_all_main(arguments.arguments)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "experiments":
+        # Forward everything after the subcommand verbatim (argparse's
+        # REMAINDER handling of options is unreliable across versions).
+        from repro.experiments.run_all import main as run_all_main
+
+        return run_all_main(argv[1:])
+    parser = _build_parser()
+    arguments = parser.parse_args(argv)
+    handlers = {
+        "enumerate": _command_enumerate,
+        "compare": _command_compare,
+        "stats": _command_stats,
+        "generate": _command_generate,
+        "experiments": _command_experiments,
+    }
+    return handlers[arguments.command](arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

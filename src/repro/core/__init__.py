@@ -1,0 +1,31 @@
+"""The paper's triangle-enumeration algorithms and their baselines."""
+
+from repro.core.api import (
+    ALGORITHMS,
+    EnumerationResult,
+    count_triangles,
+    enumerate_triangles,
+    list_algorithms,
+)
+from repro.core.emit import (
+    CollectingSink,
+    CountingSink,
+    DedupCheckingSink,
+    Triangle,
+    TriangleSink,
+    sorted_triangle,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "CollectingSink",
+    "CountingSink",
+    "DedupCheckingSink",
+    "EnumerationResult",
+    "Triangle",
+    "TriangleSink",
+    "count_triangles",
+    "enumerate_triangles",
+    "list_algorithms",
+    "sorted_triangle",
+]

@@ -1,0 +1,17 @@
+"""External-memory baselines the paper compares against, plus an in-memory oracle."""
+
+from repro.core.baselines.bnlj import block_nested_loop_join
+from repro.core.baselines.dementiev import dementiev_sort_based
+from repro.core.baselines.hu_tao_chung import hu_tao_chung
+from repro.core.baselines.in_memory import (
+    count_triangles_in_memory,
+    triangles_in_memory,
+)
+
+__all__ = [
+    "block_nested_loop_join",
+    "count_triangles_in_memory",
+    "dementiev_sort_based",
+    "hu_tao_chung",
+    "triangles_in_memory",
+]

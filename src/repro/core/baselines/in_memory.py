@@ -1,0 +1,57 @@
+"""In-memory reference enumeration (correctness oracle).
+
+A straightforward compact-forward / edge-iterator algorithm over Python
+sets.  It performs no simulated I/O and is used as the ground truth against
+which every external-memory algorithm is tested, and by the join layer when
+the data comfortably fits in real memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.emit import Triangle, TriangleSink, sorted_triangle
+
+RankedEdge = tuple[int, int]
+
+
+def triangles_in_memory(edges: Iterable[RankedEdge], sink: TriangleSink | None = None) -> list[Triangle]:
+    """Enumerate all triangles of a canonical edge list in memory.
+
+    Each triangle ``a < b < c`` is reported exactly once, discovered from its
+    edge ``(a, b)`` by intersecting the forward neighbourhoods of ``a`` and
+    ``b``.  Returns the list of triangles; also forwards them to ``sink`` if
+    one is given.
+    """
+    forward: dict[int, set[int]] = {}
+    edge_list: list[RankedEdge] = []
+    for u, v in edges:
+        if u > v:
+            u, v = v, u
+        forward.setdefault(u, set()).add(v)
+        edge_list.append((u, v))
+
+    triangles: list[Triangle] = []
+    for u, v in edge_list:
+        closing = forward.get(u)
+        extending = forward.get(v)
+        if not closing or not extending:
+            continue
+        smaller, larger = (closing, extending) if len(closing) <= len(extending) else (extending, closing)
+        for w in smaller:
+            if w in larger:
+                triangle = sorted_triangle(u, v, w)
+                triangles.append(triangle)
+                if sink is not None:
+                    sink.emit(*triangle)
+    return triangles
+
+
+def count_triangles_in_memory(edges: Iterable[RankedEdge]) -> int:
+    """Number of triangles in a canonical edge list (in-memory oracle)."""
+    return len(triangles_in_memory(edges))
+
+
+def triangle_set(edges: Sequence[RankedEdge]) -> set[Triangle]:
+    """The triangles of ``edges`` as a set of sorted tuples."""
+    return set(triangles_in_memory(edges))

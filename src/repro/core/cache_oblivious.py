@@ -1,0 +1,376 @@
+"""Section 3: the cache-oblivious randomized enumeration algorithm.
+
+The algorithm solves the general ``(c0, c1, c2)``-enumeration problem: emit
+every triangle ``u < v < w`` whose colours under the current colouring are
+exactly ``(c0, c1, c2)``.  Enumerating all triangles is the ``(0, 0, 0)``
+problem under the constant colouring.  Each recursive call:
+
+1. enumerates (and then removes) the triangles through *local high-degree*
+   vertices -- vertices of degree at least ``E/8`` within the current edge
+   set, of which there are at most 16 -- using a cache-oblivious version of
+   the Lemma 1 subroutine;
+2. refines the colouring by appending one 4-wise independent random bit to
+   every vertex colour (``xi'(v) = 2 xi(v) + b(v)``);
+3. recurses on the 8 colour vectors ``(z0, z1, z2)`` with
+   ``z_i in {2 c_i, 2 c_i + 1}``, each child keeping only the edges
+   compatible with its vector.
+
+The recursion stops at depth ``log4 E`` (or when fewer than three edges
+remain), where the remaining triangles are enumerated with a sort-based
+wedge join in the style of Dementiev's algorithm.
+
+The whole algorithm runs on the :class:`repro.extmem.oblivious.ObliviousVM`:
+it never reads ``M`` or ``B``; its I/Os are whatever the LRU block cache
+charges.  Edge records carry the colours of their endpoints --
+``(u, v, colour_u, colour_v)`` -- matching the paper's assumption that "the
+color of each vertex is stored within the vertex".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable
+
+from repro.core.emit import TriangleSink, sorted_triangle
+from repro.extmem.co_sort import cache_oblivious_sort
+from repro.extmem.oblivious import ExtVector, ObliviousVM
+from repro.hashing.kwise import KWiseIndependentHash
+
+ColorVector = tuple[int, int, int]
+#: Edge record layout: (smaller endpoint, larger endpoint, colour of smaller, colour of larger).
+EdgeRecord = tuple[int, int, int, int]
+
+
+@dataclass
+class CacheObliviousReport:
+    """Diagnostics of a cache-oblivious run, used by the recursion experiment."""
+
+    num_edges: int
+    max_depth: int
+    triangles_emitted: int = 0
+    base_case_invocations: int = 0
+    local_high_degree_processed: int = 0
+    subproblem_sizes: dict[int, list[int]] = field(default_factory=dict)
+
+    def record_subproblem(self, depth: int, size: int) -> None:
+        """Record the input size of one recursive subproblem."""
+        self.subproblem_sizes.setdefault(depth, []).append(size)
+
+    def subproblems_at(self, depth: int) -> list[int]:
+        """Sizes of all subproblems seen at the given depth."""
+        return self.subproblem_sizes.get(depth, [])
+
+
+def cache_oblivious_randomized(
+    vm: ObliviousVM,
+    edges: ExtVector,
+    sink: TriangleSink,
+    seed: int = 0,
+    max_depth: int | None = None,
+    size_recorder: Callable[[int, int], None] | None = None,
+) -> CacheObliviousReport:
+    """Enumerate all triangles of ``edges`` cache-obliviously.
+
+    Parameters
+    ----------
+    edges:
+        Input vector of canonical ranked edges ``(u, v)`` with ``u < v``,
+        sorted lexicographically (as produced by
+        :func:`repro.graph.io.edges_to_vector`).  The input is not modified.
+    seed:
+        Master seed for the per-level 4-wise independent refinement bits.
+    max_depth:
+        Override of the recursion depth limit; defaults to the paper's
+        ``log4 E``.
+    size_recorder:
+        Optional callback ``(depth, size)`` invoked for every subproblem, in
+        addition to the sizes recorded in the report.
+    """
+    num_edges = len(edges)
+    depth_limit = max_depth if max_depth is not None else _default_depth(num_edges)
+    report = CacheObliviousReport(num_edges=num_edges, max_depth=depth_limit)
+    if num_edges == 0:
+        return report
+
+    # Working copy with colour-annotated records; the constant colouring is 0.
+    working = vm.vector("colored-edges")
+    for u, v in edges.iterate():
+        working.append((u, v, 0, 0))
+
+    solver = _Solver(vm, sink, seed, depth_limit, report, size_recorder)
+    solver.solve(working, (0, 0, 0), 0)
+    vm.flush()
+    return report
+
+
+def _default_depth(num_edges: int) -> int:
+    if num_edges <= 1:
+        return 0
+    return max(1, math.ceil(math.log(num_edges, 4)))
+
+
+class _Solver:
+    """Recursive state of the cache-oblivious algorithm."""
+
+    def __init__(
+        self,
+        vm: ObliviousVM,
+        sink: TriangleSink,
+        seed: int,
+        max_depth: int,
+        report: CacheObliviousReport,
+        size_recorder: Callable[[int, int], None] | None,
+    ) -> None:
+        self.vm = vm
+        self.sink = sink
+        self.seed = seed
+        self.max_depth = max_depth
+        self.report = report
+        self.size_recorder = size_recorder
+        self._node_counter = 0
+
+    # ------------------------------------------------------------------
+    # recursion
+    # ------------------------------------------------------------------
+    def solve(self, edges: ExtVector, target: ColorVector, depth: int) -> None:
+        """Solve one ``(c0, c1, c2)``-enumeration subproblem; frees ``edges``."""
+        size = len(edges)
+        self.report.record_subproblem(depth, size)
+        if self.size_recorder is not None:
+            self.size_recorder(depth, size)
+        if size < 3:
+            edges.free()
+            return
+        if depth >= self.max_depth:
+            self.report.base_case_invocations += 1
+            self._base_case(edges, target)
+            edges.free()
+            return
+
+        edges = self._local_high_degree_phase(edges, target)
+        if len(edges) < 3:
+            edges.free()
+            return
+
+        self._refine_colors(edges, depth)
+        children = self._split_children(edges, target)
+        edges.free()
+        for child_target, child_edges in children:
+            self.solve(child_edges, child_target, depth + 1)
+
+    # ------------------------------------------------------------------
+    # step 1: local high-degree vertices
+    # ------------------------------------------------------------------
+    def _local_high_degree_phase(self, edges: ExtVector, target: ColorVector) -> ExtVector:
+        """Enumerate triangles through local high-degree vertices, then drop them."""
+        size = len(edges)
+        threshold = size / 8.0
+        high_vertices = self._find_local_high_degree(edges, threshold)
+        if not high_vertices:
+            return edges
+        current = edges
+        for vertex in high_vertices:
+            self.report.local_high_degree_processed += 1
+            self._triangles_through_vertex(current, vertex, target)
+            current = self._remove_vertex(current, vertex)
+        return current
+
+    def _find_local_high_degree(self, edges: ExtVector, threshold: float) -> list[int]:
+        """Vertices with degree at least ``threshold`` in ``edges`` (at most 16)."""
+        endpoints = self.vm.vector("endpoints")
+        for record in edges.iterate():
+            endpoints.append(record[0])
+            endpoints.append(record[1])
+        cache_oblivious_sort(self.vm, endpoints)
+        high: list[int] = []
+        current: int | None = None
+        count = 0
+        for vertex in endpoints.iterate():
+            if vertex != current:
+                if current is not None and count >= threshold:
+                    high.append(current)
+                current = vertex
+                count = 0
+            count += 1
+        if current is not None and count >= threshold:
+            high.append(current)
+        endpoints.free()
+        return high
+
+    def _triangles_through_vertex(
+        self, edges: ExtVector, vertex: int, target: ColorVector
+    ) -> None:
+        """Cache-oblivious Lemma 1: emit proper triangles containing ``vertex``."""
+        gamma = self.vm.vector("gamma")
+        vertex_color: int | None = None
+        for u, v, cu, cv in edges.iterate():
+            if u == vertex:
+                gamma.append((v, cv))
+                vertex_color = cu
+            elif v == vertex:
+                gamma.append((u, cu))
+                vertex_color = cv
+        if len(gamma) < 2 or vertex_color is None:
+            gamma.free()
+            return
+        cache_oblivious_sort(self.vm, gamma, key=lambda record: record[0])
+
+        # Keep edges whose smaller endpoint lies in Gamma_v (merge join; the
+        # edge vector is sorted lexicographically so it is sorted by smaller
+        # endpoint).
+        candidates = self.vm.vector("gamma-candidates")
+        self._merge_filter(edges, gamma, key_index=0, skip_vertex=vertex, output=candidates)
+        # Of those, keep edges whose larger endpoint also lies in Gamma_v.
+        cache_oblivious_sort(self.vm, candidates, key=lambda r: (r[1], r[0]))
+        closing = self.vm.vector("gamma-closing")
+        self._merge_filter(candidates, gamma, key_index=1, skip_vertex=vertex, output=closing)
+        candidates.free()
+        gamma.free()
+
+        for u, w, cu, cw in closing.iterate():
+            self._emit_if_proper(
+                (vertex, u, w), (vertex_color, cu, cw), target
+            )
+        closing.free()
+
+    def _merge_filter(
+        self,
+        records: ExtVector,
+        gamma: ExtVector,
+        key_index: int,
+        skip_vertex: int,
+        output: ExtVector,
+    ) -> None:
+        """Append to ``output`` the records whose ``key_index`` endpoint is in ``gamma``.
+
+        ``records`` must be sorted by the chosen endpoint and ``gamma`` by
+        vertex id; the filter is a single parallel scan of both vectors.
+        """
+        gamma_length = len(gamma)
+        gamma_position = 0
+        gamma_value = gamma.get(0)[0] if gamma_length else None
+        for index in range(len(records)):
+            record = records.get(index)
+            if record[0] == skip_vertex or record[1] == skip_vertex:
+                continue
+            value = record[key_index]
+            while gamma_value is not None and gamma_value < value:
+                gamma_position += 1
+                gamma_value = (
+                    gamma.get(gamma_position)[0] if gamma_position < gamma_length else None
+                )
+            if gamma_value is not None and gamma_value == value:
+                output.append(record)
+
+    def _remove_vertex(self, edges: ExtVector, vertex: int) -> ExtVector:
+        """Return a new vector without the edges incident to ``vertex``."""
+        filtered = self.vm.vector("minus-high-degree")
+        for record in edges.iterate():
+            if record[0] != vertex and record[1] != vertex:
+                filtered.append(record)
+        edges.free()
+        return filtered
+
+    # ------------------------------------------------------------------
+    # step 2: colour refinement
+    # ------------------------------------------------------------------
+    def _refine_colors(self, edges: ExtVector, depth: int) -> None:
+        """Append one random bit to every colour, in place (one read+write scan)."""
+        self._node_counter += 1
+        bit = KWiseIndependentHash(
+            2, independence=4, seed=(self.seed * 1_000_003 + self._node_counter * 7919 + depth)
+        )
+        for index in range(len(edges)):
+            u, v, cu, cv = edges.get(index)
+            edges.set(index, (u, v, 2 * cu + bit(u), 2 * cv + bit(v)))
+
+    # ------------------------------------------------------------------
+    # step 3: children
+    # ------------------------------------------------------------------
+    def _split_children(
+        self, edges: ExtVector, target: ColorVector
+    ) -> list[tuple[ColorVector, ExtVector]]:
+        """Build the 8 child edge sets in a single scan of the parent."""
+        c0, c1, c2 = target
+        child_targets = [
+            (z0, z1, z2)
+            for z0 in (2 * c0, 2 * c0 + 1)
+            for z1 in (2 * c1, 2 * c1 + 1)
+            for z2 in (2 * c2, 2 * c2 + 1)
+        ]
+        # Deduplicate targets that coincide when parent colours are equal
+        # (e.g. the very first level, where c0 = c1 = c2): recursing twice on
+        # an identical target would emit its triangles twice.
+        unique_targets = list(dict.fromkeys(child_targets))
+        children: list[tuple[ColorVector, ExtVector]] = [
+            (zeta, self.vm.vector(f"child-{zeta}")) for zeta in unique_targets
+        ]
+        compatible_pairs = {
+            zeta: {(zeta[0], zeta[1]), (zeta[1], zeta[2]), (zeta[0], zeta[2])}
+            for zeta in unique_targets
+        }
+        for record in edges.iterate():
+            pair = (record[2], record[3])
+            for zeta, child in children:
+                if pair in compatible_pairs[zeta]:
+                    child.append(record)
+        return children
+
+    # ------------------------------------------------------------------
+    # base case: sort-based wedge join (Dementiev-style)
+    # ------------------------------------------------------------------
+    def _base_case(self, edges: ExtVector, target: ColorVector) -> None:
+        """Enumerate the remaining proper triangles with a wedge join."""
+        n = len(edges)
+        if n < 3:
+            return
+        wedges = self.vm.vector("wedges")
+        index = 0
+        while index < n:
+            group_vertex = edges.get(index)[0]
+            group_end = index + 1
+            while group_end < n and edges.get(group_end)[0] == group_vertex:
+                group_end += 1
+            for a in range(index, group_end):
+                first = edges.get(a)
+                for b in range(a + 1, group_end):
+                    second = edges.get(b)
+                    # Wedge (v; u, w) with v < u < w; colours travel with it.
+                    wedges.append(
+                        (first[1], second[1], group_vertex, first[3], second[3], first[2])
+                    )
+            index = group_end
+        cache_oblivious_sort(self.vm, wedges, key=lambda r: (r[0], r[1]))
+
+        # Merge the wedges with the edge vector (both sorted by (u, w)).
+        edge_position = 0
+        edge_record = edges.get(0) if n else None
+        for wedge_index in range(len(wedges)):
+            u, w, v, cu, cw, cv = wedges.get(wedge_index)
+            while edge_record is not None and (edge_record[0], edge_record[1]) < (u, w):
+                edge_position += 1
+                edge_record = edges.get(edge_position) if edge_position < n else None
+            if edge_record is not None and (edge_record[0], edge_record[1]) == (u, w):
+                self._emit_if_proper((v, u, w), (cv, cu, cw), target)
+        wedges.free()
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def _emit_if_proper(
+        self,
+        vertices: tuple[int, int, int],
+        colors: tuple[int, int, int],
+        target: ColorVector,
+    ) -> None:
+        """Emit the triangle if its colour vector (in vertex order) matches the target."""
+        paired = sorted(zip(vertices, colors))
+        ordered_vertices = tuple(p[0] for p in paired)
+        ordered_colors = tuple(p[1] for p in paired)
+        if ordered_colors != target:
+            return
+        triangle = sorted_triangle(*ordered_vertices)
+        self.sink.emit(*triangle)
+        self.report.triangles_emitted += 1

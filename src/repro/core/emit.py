@@ -1,0 +1,130 @@
+"""The emission protocol of the triangle *enumeration* problem.
+
+The paper's problem definition: for each triangle ``{v1, v2, v3}`` the
+algorithm makes exactly one call to ``emit(v1, v2, v3)`` at a point in time
+when all three edges are in internal memory.  Nothing is written to external
+memory for the emitted triangles -- that is precisely what distinguishes
+*enumeration* from *listing* and what makes the ``E^{3/2}/(sqrt(M) B)``
+bound achievable regardless of the output size.
+
+Sinks receive the three vertices in ascending (degree-rank) order.  The
+:class:`DedupCheckingSink` wrapper is used throughout the test suite to turn
+the "exactly once" requirement into an assertion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Protocol
+
+from repro.exceptions import AlgorithmError
+
+Triangle = tuple[int, int, int]
+
+
+def sorted_triangle(a: int, b: int, c: int) -> Triangle:
+    """Return the triple sorted ascending; reject degenerate triples."""
+    if a == b or b == c or a == c:
+        raise AlgorithmError(f"degenerate triangle ({a}, {b}, {c})")
+    if a > b:
+        a, b = b, a
+    if b > c:
+        b, c = c, b
+    if a > b:
+        a, b = b, a
+    return (a, b, c)
+
+
+class TriangleSink(Protocol):
+    """Anything that can receive emitted triangles."""
+
+    def emit(self, a: int, b: int, c: int) -> None:
+        """Receive one triangle; vertices arrive in ascending order."""
+        ...
+
+
+class CountingSink:
+    """Counts emitted triangles without storing them (the cheapest sink)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def emit(self, a: int, b: int, c: int) -> None:
+        self.count += 1
+
+
+class CollectingSink:
+    """Collects every emitted triangle (as sorted tuples) into a list."""
+
+    def __init__(self) -> None:
+        self.triangles: list[Triangle] = []
+
+    def emit(self, a: int, b: int, c: int) -> None:
+        self.triangles.append(sorted_triangle(a, b, c))
+
+    @property
+    def count(self) -> int:
+        """Number of triangles emitted so far."""
+        return len(self.triangles)
+
+    def as_set(self) -> set[Triangle]:
+        """The emitted triangles as a set (for comparisons against oracles)."""
+        return set(self.triangles)
+
+
+class DedupCheckingSink:
+    """A sink wrapper that enforces the exactly-once emission contract.
+
+    Raises :class:`repro.exceptions.AlgorithmError` if the same triangle is
+    emitted twice.  Used pervasively in tests; cheap enough to use in
+    examples too.
+    """
+
+    def __init__(self, inner: TriangleSink | None = None) -> None:
+        self.inner = inner if inner is not None else CountingSink()
+        self.seen: set[Triangle] = set()
+
+    def emit(self, a: int, b: int, c: int) -> None:
+        triangle = sorted_triangle(a, b, c)
+        if triangle in self.seen:
+            raise AlgorithmError(f"triangle {triangle} emitted more than once")
+        self.seen.add(triangle)
+        self.inner.emit(a, b, c)
+
+    @property
+    def count(self) -> int:
+        """Number of distinct triangles emitted."""
+        return len(self.seen)
+
+    def as_set(self) -> set[Triangle]:
+        """The emitted triangles as a set."""
+        return set(self.seen)
+
+
+class CallbackSink:
+    """Adapts a plain callable ``f(a, b, c)`` to the sink protocol."""
+
+    def __init__(self, callback: Callable[[int, int, int], None]) -> None:
+        self.callback = callback
+        self.count = 0
+
+    def emit(self, a: int, b: int, c: int) -> None:
+        self.count += 1
+        self.callback(a, b, c)
+
+
+class FilteringSink:
+    """Forwards only triangles accepted by a predicate (used by colour checks)."""
+
+    def __init__(self, inner: TriangleSink, predicate: Callable[[Triangle], bool]) -> None:
+        self.inner = inner
+        self.predicate = predicate
+
+    def emit(self, a: int, b: int, c: int) -> None:
+        triangle = sorted_triangle(a, b, c)
+        if self.predicate(triangle):
+            self.inner.emit(*triangle)
+
+
+def triangles_as_set(triangles: Iterable[Triangle]) -> set[Triangle]:
+    """Normalise an iterable of triples into a set of sorted tuples."""
+    return {sorted_triangle(*t) for t in triangles}

@@ -1,0 +1,167 @@
+"""Paper Lemma 2 (Hu, Tao and Chung): triangles with a pivot edge in ``E'``.
+
+    "The set of triangles in an edge set E with a pivot edge in E' ⊆ E can
+    be enumerated in O(E/B + E'E/(MB)) I/Os."
+
+The algorithm loads ``alpha * M`` pivot edges at a time into internal memory
+and, for each memory-resident batch, streams the (lexicographically sorted)
+edge set grouped by smaller endpoint: for a group of edges ``(v, u)`` it
+collects ``Gamma_v``, the forward neighbours of ``v`` that touch the batch,
+and reports every batch edge ``{u, w}`` with both endpoints in ``Gamma_v`` as
+the triangle ``{v, u, w}``.
+
+This subroutine is both:
+
+* the inner loop of the cache-aware algorithms (Section 2 step 3 /
+  Section 4), where ``E'`` is one colour-class partition and the edge set is
+  the union of three partitions, and
+* the whole of the Hu-Tao-Chung baseline (``E' = E``), see
+  :mod:`repro.core.baselines.hu_tao_chung`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.emit import Triangle, TriangleSink, sorted_triangle
+from repro.extmem.disk import Readable
+from repro.extmem.machine import Machine
+from repro.extmem.sorting import merge_sorted_scan
+
+RankedEdge = tuple[int, int]
+TriangleFilter = Callable[[Triangle], bool]
+
+#: Fraction of internal memory used for the pivot-edge batch.  The batch,
+#: its endpoint set and its adjacency index together are leased as
+#: ``_MEMORY_MULTIPLIER`` times the batch size, so the default keeps the
+#: total comfortably under ``M``.
+DEFAULT_MEMORY_FRACTION = 1.0 / 4.0
+_MEMORY_MULTIPLIER = 3
+
+
+def triangles_with_pivot_in(
+    machine: Machine,
+    pivot_source: Readable,
+    adjacency_sources: Sequence[Readable],
+    sink: TriangleSink,
+    cone_filter: Callable[[int], bool] | None = None,
+    triangle_filter: TriangleFilter | None = None,
+    memory_fraction: float = DEFAULT_MEMORY_FRACTION,
+) -> int:
+    """Emit every triangle whose pivot edge lies in ``pivot_source``.
+
+    Parameters
+    ----------
+    pivot_source:
+        The pivot-edge set ``E'`` (any order).
+    adjacency_sources:
+        Files/slices that together form the edge set ``E``; **each must be
+        sorted lexicographically** so that their merge is grouped by smaller
+        endpoint.  Pass each distinct source once.
+    cone_filter:
+        Optional predicate on the cone vertex; groups whose smaller endpoint
+        fails it are skipped (used by the colour-class iteration to keep
+        only cone vertices of colour ``tau_1``).
+    triangle_filter:
+        Optional predicate on the sorted triangle applied just before
+        emission.
+
+    Returns the number of triangles emitted.
+    """
+    if not 0 < memory_fraction <= 1.0 / float(_MEMORY_MULTIPLIER):
+        raise ValueError(
+            f"memory fraction must lie in (0, {1.0 / _MEMORY_MULTIPLIER:.3f}], got {memory_fraction}"
+        )
+    total_pivots = len(pivot_source)
+    if total_pivots == 0:
+        return 0
+    batch_size = max(1, int(memory_fraction * machine.memory_size))
+    emitted = 0
+    position = 0
+    while position < total_pivots:
+        count = min(batch_size, total_pivots - position)
+        with machine.lease(_MEMORY_MULTIPLIER * count, "lemma2 pivot batch"):
+            batch = machine.load(pivot_source, position, count)
+            emitted += _process_batch(
+                machine,
+                batch,
+                adjacency_sources,
+                sink,
+                cone_filter,
+                triangle_filter,
+            )
+        position += count
+    return emitted
+
+
+def _process_batch(
+    machine: Machine,
+    batch: list[RankedEdge],
+    adjacency_sources: Sequence[Readable],
+    sink: TriangleSink,
+    cone_filter: Callable[[int], bool] | None,
+    triangle_filter: TriangleFilter | None,
+) -> int:
+    """Stream the edge set once against one memory-resident pivot batch."""
+    batch_endpoints: set[int] = set()
+    batch_adjacency: dict[int, list[int]] = {}
+    for u, w in batch:
+        batch_endpoints.add(u)
+        batch_endpoints.add(w)
+        batch_adjacency.setdefault(u, []).append(w)
+    machine.stats.charge_operations(len(batch))
+
+    emitted = 0
+    current_vertex: int | None = None
+    gamma: list[int] = []
+
+    def close_group() -> int:
+        if current_vertex is None or not gamma:
+            return 0
+        return _emit_group(
+            machine,
+            current_vertex,
+            gamma,
+            batch_adjacency,
+            sink,
+            triangle_filter,
+        )
+
+    for v, u in merge_sorted_scan(machine, adjacency_sources):
+        machine.stats.charge_operations(1)
+        if v != current_vertex:
+            emitted += close_group()
+            current_vertex = v
+            gamma = []
+        if cone_filter is not None and not cone_filter(v):
+            continue
+        if u in batch_endpoints:
+            gamma.append(u)
+    emitted += close_group()
+    return emitted
+
+
+def _emit_group(
+    machine: Machine,
+    cone: int,
+    gamma: list[int],
+    batch_adjacency: dict[int, list[int]],
+    sink: TriangleSink,
+    triangle_filter: TriangleFilter | None,
+) -> int:
+    """Emit triangles for one cone vertex given its batch-restricted neighbourhood."""
+    gamma_set = set(gamma)
+    emitted = 0
+    for u in gamma:
+        closing = batch_adjacency.get(u)
+        if not closing:
+            continue
+        for w in closing:
+            machine.stats.charge_operations(1)
+            if w in gamma_set:
+                triangle = sorted_triangle(cone, u, w)
+                if triangle_filter is not None and not triangle_filter(triangle):
+                    continue
+                sink.emit(*triangle)
+                emitted += 1
+    return emitted

@@ -1,0 +1,46 @@
+"""Helpers around the canonical degree ordering.
+
+Terminology from the paper: for a triangle ``{v1, v2, v3}`` with
+``v1 < v2 < v3`` in the degree order, ``{v2, v3}`` is its *pivot edge* and
+``v1`` its *cone vertex*.  The algorithms in this package always work on
+ranked edge lists, so "``<``" is plain integer comparison.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.core.emit import Triangle, sorted_triangle
+
+RankedEdge = tuple[int, int]
+
+
+def cone_vertex(triangle: Triangle) -> int:
+    """The smallest vertex of the triangle (in degree order)."""
+    return sorted_triangle(*triangle)[0]
+
+
+def pivot_edge(triangle: Triangle) -> RankedEdge:
+    """The edge between the two largest vertices of the triangle."""
+    _, b, c = sorted_triangle(*triangle)
+    return (b, c)
+
+
+def degrees_from_edges(edges: Iterable[RankedEdge]) -> Counter:
+    """In-memory degree computation (tests and small inputs only)."""
+    degrees: Counter = Counter()
+    for u, v in edges:
+        degrees[u] += 1
+        degrees[v] += 1
+    return degrees
+
+
+def forward_adjacency(edges: Sequence[RankedEdge]) -> dict[int, list[int]]:
+    """In-memory forward adjacency lists (tests and oracles only)."""
+    adjacency: dict[int, list[int]] = {}
+    for u, v in edges:
+        adjacency.setdefault(u, []).append(v)
+    for neighbours in adjacency.values():
+        neighbours.sort()
+    return adjacency

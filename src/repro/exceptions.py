@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ExternalMemoryError(ReproError):
+    """Base class for errors raised by the external-memory simulator."""
+
+
+class MemoryExceededError(ExternalMemoryError):
+    """Raised when an algorithm tries to hold more than ``M`` words in memory.
+
+    The explicit (cache-aware) machine tracks internal-memory leases; any
+    attempt to lease past the configured capacity raises this error, which is
+    how the simulator keeps cache-aware algorithms honest about their stated
+    memory footprint.
+    """
+
+
+class FileClosedError(ExternalMemoryError):
+    """Raised when accessing an external-memory file that has been deleted."""
+
+
+class InvalidConfigurationError(ReproError):
+    """Raised for invalid machine parameters (e.g. ``B > M`` or ``B <= 0``)."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when an edge list violates the canonical graph representation."""
+
+
+class AlgorithmError(ReproError):
+    """Raised when an enumeration algorithm is invoked with unusable input."""
+
+
+class DerandomizationError(AlgorithmError):
+    """Raised when the greedy derandomization cannot certify its potential.
+
+    This can only happen when the caller caps the small-bias family below the
+    size required by Lemma 6 of the paper; with the full family a suitable
+    two-colouring always exists.
+    """

@@ -1,0 +1,23 @@
+"""Experiment harness reproducing the paper's quantitative claims.
+
+The paper has no empirical tables or figures (it is a theory paper), so each
+experiment here operationalises one theorem or lemma; DESIGN.md Section 5
+maps experiment ids to claims and EXPERIMENTS.md records the outcomes.
+
+Every experiment module exposes ``run(quick: bool = True) -> Table`` (or a
+list of tables); ``python -m repro.experiments.run_all`` runs them all and
+prints the tables.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.runner import RunResult, run_on_edges
+from repro.experiments.tables import Table
+
+__all__ = [
+    "EXPERIMENTS",
+    "RunResult",
+    "Table",
+    "get_experiment",
+    "list_experiments",
+    "run_on_edges",
+]

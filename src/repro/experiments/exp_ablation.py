@@ -1,0 +1,92 @@
+"""EXP10 -- ablation: the role of the high-degree phase (Section 2, step 1).
+
+The cache-aware algorithm first strips vertices of degree above
+``sqrt(E*M)`` with the Lemma 1 subroutine.  Without that step the colour
+classes containing a hub's edges become enormous, the collision statistic
+``X_xi`` blows up past the ``E*M`` budget of Lemma 3, and step 3 pays for it
+in I/Os.  The ablation runs the colour-partition machinery directly on the
+full edge set of a hub-heavy graph and compares it with the full algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import colour_count, expected_colour_collisions
+from repro.analysis.model import MachineParams
+from repro.core.cache_aware import enumerate_colored_triples, partition_by_coloring
+from repro.core.emit import CountingSink
+from repro.experiments.runner import run_on_edges
+from repro.experiments.tables import Table
+from repro.experiments.workloads import hub, sparse_random
+from repro.extmem.machine import Machine
+from repro.extmem.stats import IOStats
+from repro.graph.io import edges_to_file
+from repro.hashing.coloring import RandomColoring
+
+EXPERIMENT_ID = "EXP10"
+TITLE = "Ablation: colour partitioning with and without the high-degree phase"
+CLAIM = "Skipping the sqrt(E*M) high-degree phase inflates X_xi and step-3 I/Os on skewed graphs"
+
+PARAMS = MachineParams(memory_words=64, block_words=16)
+QUICK_EDGES = 1024
+FULL_EDGES = 3072
+
+
+def _without_high_degree_phase(edges, seed: int) -> tuple[int, int, int]:
+    """Partition + triple enumeration on the *full* edge set (no step 1)."""
+    machine = Machine(PARAMS, IOStats())
+    edge_file = edges_to_file(machine, edges)
+    colours = max(1, colour_count(len(edges), PARAMS.memory_words))
+    coloring = RandomColoring(colours, seed=seed) if colours > 1 else RandomColoring(2, seed=seed)
+    partitioned, slices, sizes = partition_by_coloring(machine, edge_file, coloring)
+    sink = CountingSink()
+    enumerate_colored_triples(machine, slices, coloring, sink)
+    partitioned.delete()
+    x_xi = sum(size * (size - 1) // 2 for size in sizes.values())
+    return machine.stats.total, x_xi, sink.count
+
+
+def run(quick: bool = True) -> Table:
+    """Run the ablation on a skewed and a non-skewed workload."""
+    edge_target = QUICK_EDGES if quick else FULL_EDGES
+    workloads = [hub(edge_target), sparse_random(edge_target)]
+    table = Table(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        headers=(
+            "workload",
+            "E",
+            "full algo colour-phase I/O",
+            "ablated colour-phase I/O",
+            "full total I/O",
+            "full X/EM",
+            "ablated X/EM",
+            "triangles agree",
+        ),
+    )
+    for workload in workloads:
+        full = run_on_edges(workload.edges, "cache_aware", PARAMS, seed=10)
+        colour_phase = (full.phases or {}).get("partition", 0) + (full.phases or {}).get(
+            "triples", 0
+        )
+        ablated_io, ablated_x, ablated_triangles = _without_high_degree_phase(
+            workload.edges, seed=10
+        )
+        budget = expected_colour_collisions(workload.num_edges, PARAMS.memory_words)
+        table.add_row(
+            workload.name,
+            workload.num_edges,
+            colour_phase,
+            ablated_io,
+            full.total_ios,
+            full.report.x_xi / budget,
+            ablated_x / budget,
+            ablated_triangles == full.triangles,
+        )
+    table.add_note(
+        "the ablated variant is still correct (it enumerates the same triangles), but on the "
+        "hub workload its collision statistic X_xi and the colour-phase I/Os degrade, which is "
+        "why the paper strips vertices of degree > sqrt(E*M) first; the full algorithm pays a "
+        "fixed sort(E) cost per high-degree vertex (included in 'full total I/O')"
+    )
+    return table

@@ -1,0 +1,86 @@
+"""EXP3 -- the cache-oblivious algorithm under the LRU cache simulator.
+
+Claim (Theorem 1): without ever reading M or B, the recursive algorithm's
+I/O count (misses plus dirty write-backs of an LRU cache of M/B blocks)
+scales like ``E^{3/2} / (sqrt(M) B)``.  We sweep E at fixed (M, B) and M at
+fixed E, and additionally check the regularity condition
+``Q(E, M, B) = O(Q(E, 2M, B))`` that transfers the bound to every level of a
+multilevel LRU cache (Frigo et al.).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.model import MachineParams
+from repro.analysis.verification import fit_power_law
+from repro.experiments.runner import run_on_edges
+from repro.experiments.tables import Table
+from repro.experiments.workloads import sparse_random
+
+EXPERIMENT_ID = "EXP3"
+TITLE = "Cache-oblivious algorithm: I/O scaling under LRU simulation"
+CLAIM = "I/Os grow ~E^1.5 in E and shrink ~M^-1/2 in M without the algorithm knowing M or B"
+
+BLOCK_WORDS = 16
+QUICK_EDGE_COUNTS = (256, 512, 1024)
+FULL_EDGE_COUNTS = (256, 512, 1024, 2048)
+QUICK_MEMORIES = (128, 256, 512)
+FULL_MEMORIES = (128, 256, 512, 1024)
+BASE_MEMORY = 256
+
+
+def run(quick: bool = True) -> list[Table]:
+    """Run both sweeps; returns the E-sweep and M-sweep tables."""
+    edge_counts = QUICK_EDGE_COUNTS if quick else FULL_EDGE_COUNTS
+    memories = QUICK_MEMORIES if quick else FULL_MEMORIES
+
+    e_table = Table(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE + " (E sweep)",
+        claim=CLAIM,
+        headers=("E", "triangles", "cache_oblivious", "cache_aware", "ratio co/ca"),
+    )
+    co_series: list[float] = []
+    swept: list[int] = []
+    for num_edges in edge_counts:
+        workload = sparse_random(num_edges)
+        params = MachineParams(memory_words=BASE_MEMORY, block_words=BLOCK_WORDS)
+        oblivious = run_on_edges(workload.edges, "cache_oblivious", params, seed=3)
+        aware = run_on_edges(workload.edges, "cache_aware", params, seed=3)
+        co_series.append(oblivious.total_ios)
+        swept.append(workload.num_edges)
+        e_table.add_row(
+            workload.num_edges,
+            oblivious.triangles,
+            oblivious.total_ios,
+            aware.total_ios,
+            oblivious.total_ios / max(1, aware.total_ios),
+        )
+    fit = fit_power_law(swept, co_series)
+    e_table.add_note(
+        f"log-log slope in E: {fit.exponent:.2f} (theory 1.5, plus a log factor from the "
+        "cache-oblivious binary merge sort)"
+    )
+
+    m_table = Table(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE + " (M sweep + regularity)",
+        claim="Q(E, M, B) decreases ~M^-1/2 and Q(E, M, B) / Q(E, 2M, B) stays bounded",
+        headers=("M", "cache_oblivious", "Q(M)/Q(2M)"),
+    )
+    workload = sparse_random(edge_counts[-1])
+    totals: list[float] = []
+    for memory in memories:
+        params = MachineParams(memory_words=memory, block_words=BLOCK_WORDS)
+        result = run_on_edges(workload.edges, "cache_oblivious", params, seed=3)
+        totals.append(result.total_ios)
+    for index, memory in enumerate(memories):
+        ratio = totals[index] / totals[index + 1] if index + 1 < len(totals) else float("nan")
+        m_table.add_row(memory, totals[index], ratio if index + 1 < len(totals) else "-")
+    m_fit = fit_power_law(list(memories), totals)
+    m_table.add_note(
+        f"log-log slope in M: {m_fit.exponent:.2f} (theory -0.5 asymptotically; at simulable "
+        "scales the measured slope is steeper because once a subproblem fits in the LRU cache "
+        "its accesses stop costing I/Os entirely)"
+    )
+    m_table.add_note(f"E = {workload.num_edges}, B = {BLOCK_WORDS}")
+    return [e_table, m_table]

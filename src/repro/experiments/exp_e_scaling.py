@@ -1,0 +1,101 @@
+"""EXP1 -- I/O versus E at fixed (M, B): the paper's headline comparison.
+
+Claim (Theorem 4 versus prior work): the cache-aware algorithm uses
+``O(E^{3/2} / (sqrt(M) B))`` I/Os whereas Hu-Tao-Chung uses
+``O(E^2 / (M B))`` and the block-nested-loop join ``O(E^3 / (M^2 B))``.
+Sweeping ``E`` at fixed ``M`` and ``B``, the log-log slopes should come out
+near 1.5, 2 and 3 respectively, and the paper's algorithm must overtake
+Hu-Tao-Chung once ``E / M`` is large enough (the improvement factor is
+``sqrt(E / M)``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import cache_aware_io, dementiev_io, hu_tao_chung_io
+from repro.analysis.model import MachineParams
+from repro.analysis.verification import fit_power_law
+from repro.experiments.runner import run_on_edges
+from repro.experiments.tables import Table
+from repro.experiments.workloads import sparse_random
+
+EXPERIMENT_ID = "EXP1"
+TITLE = "I/O versus number of edges E (fixed M, B)"
+CLAIM = (
+    "Cache-aware algorithm grows like E^1.5, Hu-Tao-Chung like E^2, BNLJ like E^3; "
+    "ours wins once E >> M"
+)
+
+PARAMS = MachineParams(memory_words=256, block_words=16)
+QUICK_EDGE_COUNTS = (512, 1024, 2048)
+FULL_EDGE_COUNTS = (512, 1024, 2048, 4096, 8192)
+#: The cubic baseline is only run on the smaller inputs (it is the point of
+#: the experiment that it becomes untenable).
+BNLJ_LIMIT = 2048
+
+
+def run(quick: bool = True) -> Table:
+    """Run the sweep and return the result table."""
+    edge_counts = QUICK_EDGE_COUNTS if quick else FULL_EDGE_COUNTS
+    table = Table(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        headers=(
+            "E",
+            "triangles",
+            "cache_aware",
+            "deterministic",
+            "hu_tao_chung",
+            "dementiev",
+            "bnlj",
+            "pred_ours",
+            "pred_htc",
+        ),
+    )
+
+    measured: dict[str, list[float]] = {"cache_aware": [], "hu_tao_chung": [], "bnlj": []}
+    swept_edges: list[int] = []
+    bnlj_edges: list[int] = []
+    for num_edges in edge_counts:
+        workload = sparse_random(num_edges)
+        row: dict[str, float | str] = {}
+        for algorithm in ("cache_aware", "deterministic", "hu_tao_chung", "dementiev"):
+            result = run_on_edges(workload.edges, algorithm, PARAMS, seed=1)
+            row[algorithm] = result.total_ios
+            triangles = result.triangles
+        if num_edges <= BNLJ_LIMIT:
+            bnlj_result = run_on_edges(workload.edges, "bnlj", PARAMS, seed=1)
+            row["bnlj"] = bnlj_result.total_ios
+            measured["bnlj"].append(bnlj_result.total_ios)
+            bnlj_edges.append(workload.num_edges)
+        else:
+            row["bnlj"] = "-"
+        swept_edges.append(workload.num_edges)
+        measured["cache_aware"].append(float(row["cache_aware"]))
+        measured["hu_tao_chung"].append(float(row["hu_tao_chung"]))
+        table.add_row(
+            workload.num_edges,
+            triangles,
+            row["cache_aware"],
+            row["deterministic"],
+            row["hu_tao_chung"],
+            row["dementiev"],
+            row["bnlj"],
+            round(cache_aware_io(workload.num_edges, PARAMS)),
+            round(hu_tao_chung_io(workload.num_edges, PARAMS)),
+        )
+
+    ours_fit = fit_power_law(swept_edges, measured["cache_aware"])
+    htc_fit = fit_power_law(swept_edges, measured["hu_tao_chung"])
+    table.add_note(
+        f"log-log slope: cache_aware {ours_fit.exponent:.2f} (theory 1.5), "
+        f"hu_tao_chung {htc_fit.exponent:.2f} (theory 2.0)"
+    )
+    if len(bnlj_edges) >= 2:
+        bnlj_fit = fit_power_law(bnlj_edges, measured["bnlj"])
+        table.add_note(f"log-log slope: bnlj {bnlj_fit.exponent:.2f} (theory 3.0)")
+    table.add_note(
+        f"machine: M={PARAMS.memory_words}, B={PARAMS.block_words}; "
+        f"Dementiev prediction at the largest E: {round(dementiev_io(swept_edges[-1], PARAMS))}"
+    )
+    return table

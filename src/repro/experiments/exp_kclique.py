@@ -1,0 +1,67 @@
+"""EXP11 -- extension: k-clique enumeration via colour coding (Section 6).
+
+Claim (paper conclusion, citing Silvestri 2014): the colour-coding technique
+of Section 2 extends to enumerating k-cliques in
+``O(E^{k/2} / (M^{k/2-1} B))`` expected I/Os.  For ``k = 4`` that is
+``E^2 / (M B)``: sweeping ``E`` at fixed ``(M, B)``, the log-log slope of the
+measured I/Os should be about 2 (and about 1.5 for ``k = 3``, where the
+extension coincides with the triangle algorithm's bound).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.model import MachineParams
+from repro.analysis.verification import fit_power_law
+from repro.core.kclique import CountingCliqueSink, cache_aware_kclique
+from repro.experiments.tables import Table
+from repro.experiments.workloads import dense_random
+from repro.extmem.machine import Machine
+from repro.extmem.stats import IOStats
+from repro.graph.io import edges_to_file
+
+EXPERIMENT_ID = "EXP11"
+TITLE = "Extension: k-clique enumeration via colour coding"
+CLAIM = "I/Os grow like E^{k/2} at fixed (M, B): slope ~1.5 for k=3, ~2 for k=4"
+
+PARAMS = MachineParams(memory_words=256, block_words=16)
+QUICK_EDGE_COUNTS = (512, 1024)
+FULL_EDGE_COUNTS = (512, 1024, 2048)
+CLIQUE_SIZES = (3, 4)
+
+
+def run(quick: bool = True) -> Table:
+    """Run the k-clique sweep and return the result table."""
+    edge_counts = QUICK_EDGE_COUNTS if quick else FULL_EDGE_COUNTS
+    table = Table(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        headers=("E", "k", "cliques", "I/Os", "subproblems", "refined"),
+    )
+    series: dict[int, tuple[list[int], list[float]]] = {k: ([], []) for k in CLIQUE_SIZES}
+    for num_edges in edge_counts:
+        workload = dense_random(num_edges)
+        for k in CLIQUE_SIZES:
+            machine = Machine(PARAMS, IOStats())
+            edge_file = edges_to_file(machine, workload.edges)
+            sink = CountingCliqueSink()
+            report = cache_aware_kclique(machine, edge_file, k, sink, seed=11)
+            series[k][0].append(workload.num_edges)
+            series[k][1].append(machine.stats.total)
+            table.add_row(
+                workload.num_edges,
+                k,
+                sink.count,
+                machine.stats.total,
+                report.subproblems_solved,
+                report.subproblems_refined,
+            )
+    for k in CLIQUE_SIZES:
+        fit = fit_power_law(*series[k])
+        table.add_note(
+            f"k={k}: log-log slope {fit.exponent:.2f} (theory {k / 2:.1f}); "
+            f"oversized colour-tuple subproblems are split by refinement, "
+            f"which adds a constant number of extra passes"
+        )
+    table.add_note(f"machine: M={PARAMS.memory_words}, B={PARAMS.block_words}; dense random graphs")
+    return table

@@ -1,0 +1,64 @@
+"""EXP2 -- I/O versus internal memory M at fixed E and B.
+
+Claim (Theorems 1/4 versus Hu-Tao-Chung): our algorithms' I/O complexity
+scales like ``M^{-1/2}`` while Hu-Tao-Chung scales like ``M^{-1}`` -- this is
+exactly the ``min(sqrt(E/M), sqrt(M))`` improvement factor of the paper.  On
+a log-log plot of I/Os against M the slopes should be about -0.5 and -1.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import improvement_factor
+from repro.analysis.model import MachineParams
+from repro.analysis.verification import fit_power_law
+from repro.experiments.runner import run_on_edges
+from repro.experiments.tables import Table
+from repro.experiments.workloads import sparse_random
+
+EXPERIMENT_ID = "EXP2"
+TITLE = "I/O versus internal memory M (fixed E, B)"
+CLAIM = "Our I/Os scale like M^-1/2; Hu-Tao-Chung like M^-1 (slope on log-log plot)"
+
+BLOCK_WORDS = 16
+QUICK_EDGES = 2048
+FULL_EDGES = 4096
+QUICK_MEMORIES = (64, 128, 256)
+FULL_MEMORIES = (64, 128, 256, 512, 1024)
+
+
+def run(quick: bool = True) -> Table:
+    """Run the sweep and return the result table."""
+    num_edges = QUICK_EDGES if quick else FULL_EDGES
+    memories = QUICK_MEMORIES if quick else FULL_MEMORIES
+    workload = sparse_random(num_edges)
+
+    table = Table(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        headers=("M", "cache_aware", "hu_tao_chung", "ratio htc/ours", "paper factor sqrt(E/M)"),
+    )
+    ours_series: list[float] = []
+    htc_series: list[float] = []
+    for memory in memories:
+        params = MachineParams(memory_words=memory, block_words=BLOCK_WORDS)
+        ours = run_on_edges(workload.edges, "cache_aware", params, seed=2)
+        htc = run_on_edges(workload.edges, "hu_tao_chung", params, seed=2)
+        ours_series.append(ours.total_ios)
+        htc_series.append(htc.total_ios)
+        table.add_row(
+            memory,
+            ours.total_ios,
+            htc.total_ios,
+            htc.total_ios / ours.total_ios,
+            improvement_factor(workload.num_edges, memory),
+        )
+
+    ours_fit = fit_power_law(list(memories), ours_series)
+    htc_fit = fit_power_law(list(memories), htc_series)
+    table.add_note(
+        f"log-log slope in M: cache_aware {ours_fit.exponent:.2f} (theory -0.5), "
+        f"hu_tao_chung {htc_fit.exponent:.2f} (theory -1.0)"
+    )
+    table.add_note(f"E = {workload.num_edges}, B = {BLOCK_WORDS}")
+    return table

@@ -1,0 +1,72 @@
+"""EXP7 -- output sensitivity of the lower bound.
+
+Claim (Theorem 3, output-sensitive form): the number of I/Os any algorithm
+needs grows with the number of emitted triangles ``t`` as
+``t / (sqrt(M) B) + t^{2/3} / B``, while the upper bound of the paper's
+algorithms depends only on ``E``.  Holding ``E`` roughly fixed and varying
+``t`` from zero (bipartite graph) to ``Theta(E^{3/2})`` (clique), the
+measured I/Os should stay roughly flat while the lower bound climbs towards
+them -- i.e. the algorithm is increasingly close to optimal as the output
+gets larger, and is never below the bound.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import lower_bound_io
+from repro.analysis.model import MachineParams
+from repro.experiments.runner import run_on_edges
+from repro.experiments.tables import Table
+from repro.experiments.workloads import (
+    clique_with_edges,
+    planted,
+    sparse_random,
+    triangle_free,
+    tripartite,
+)
+
+EXPERIMENT_ID = "EXP7"
+TITLE = "Output sensitivity: I/O versus number of triangles t at comparable E"
+CLAIM = "Measured I/Os never fall below the lower bound and approach it as t grows"
+
+PARAMS = MachineParams(memory_words=256, block_words=16)
+QUICK_TARGET_EDGES = 600
+FULL_TARGET_EDGES = 1500
+
+
+def run(quick: bool = True) -> Table:
+    """Run the t-sweep at (roughly) constant E and return the result table."""
+    target = QUICK_TARGET_EDGES if quick else FULL_TARGET_EDGES
+    part = max(3, round((target / 3) ** 0.5))
+    workloads = [
+        triangle_free(target),
+        planted(num_triangles=target // 40, filler_edges=target),
+        planted(num_triangles=target // 6, filler_edges=target // 2),
+        sparse_random(target),
+        tripartite(part),
+        clique_with_edges(target),
+    ]
+    table = Table(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        headers=("workload", "E", "t", "cache_aware I/O", "lower bound", "I/O / bound"),
+    )
+    for workload in workloads:
+        result = run_on_edges(workload.edges, "cache_aware", PARAMS, seed=7)
+        bound = lower_bound_io(result.triangles, PARAMS)
+        ratio = result.total_ios / bound if bound > 0 else float("inf")
+        table.add_row(
+            workload.name,
+            workload.num_edges,
+            result.triangles,
+            result.total_ios,
+            round(bound, 1),
+            ratio if bound > 0 else "-",
+        )
+    table.add_note(
+        "for triangle-poor inputs the E-dependent terms dominate and the gap to the "
+        "output-sensitive bound is large; for triangle-dense inputs (clique, tripartite) "
+        "the ratio shrinks towards a constant, which is Theorem 3's tightness statement"
+    )
+    table.add_note(f"machine: M={PARAMS.memory_words}, B={PARAMS.block_words}")
+    return table

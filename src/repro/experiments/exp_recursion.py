@@ -1,0 +1,63 @@
+"""EXP6 -- subproblem-size decay in the cache-oblivious recursion.
+
+Claim (Lemmas 4 and 5): in the recursion of Section 3 the expected input
+size of a subproblem at depth ``i`` decays geometrically (each colour-slot
+edge set shrinks by a factor 4 per level), and subproblems much larger than
+their expectation are rare.  We instrument the recursion and report, per
+level, the number of non-trivial subproblems, their mean and maximum size,
+and the decay ratio between consecutive levels.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.model import MachineParams
+from repro.experiments.runner import run_on_edges
+from repro.experiments.tables import Table
+from repro.experiments.workloads import sparse_random
+
+EXPERIMENT_ID = "EXP6"
+TITLE = "Cache-oblivious recursion: subproblem sizes per level"
+CLAIM = "Mean subproblem size decays geometrically with depth (Lemma 4); large outliers are rare"
+
+PARAMS = MachineParams(memory_words=256, block_words=16)
+QUICK_EDGES = 768
+FULL_EDGES = 2048
+
+
+def run(quick: bool = True) -> Table:
+    """Run one instrumented cache-oblivious run and tabulate the recursion."""
+    workload = sparse_random(QUICK_EDGES if quick else FULL_EDGES)
+    result = run_on_edges(workload.edges, "cache_oblivious", PARAMS, seed=6)
+    report = result.report
+
+    table = Table(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        headers=("depth", "subproblems", "mean size", "max size", "decay vs previous"),
+    )
+    previous_mean: float | None = None
+    for depth in sorted(report.subproblem_sizes):
+        sizes = [s for s in report.subproblems_at(depth)]
+        nontrivial = [s for s in sizes if s > 0]
+        if not nontrivial:
+            continue
+        mean_size = sum(nontrivial) / len(nontrivial)
+        decay = mean_size / previous_mean if previous_mean else float("nan")
+        table.add_row(
+            depth,
+            len(nontrivial),
+            mean_size,
+            max(nontrivial),
+            decay if previous_mean else "-",
+        )
+        previous_mean = mean_size
+    table.add_note(
+        "the level-0 row is the whole input; at level 1 the parent colours coincide so the "
+        "expected decay is about 1/2, from level 2 onwards it approaches the 1/4 rate of Lemma 4"
+    )
+    table.add_note(
+        f"E = {workload.num_edges}, base cases invoked: {report.base_case_invocations}, "
+        f"local high-degree removals: {report.local_high_degree_processed}"
+    )
+    return table

@@ -1,0 +1,54 @@
+"""EXP9 -- work optimality.
+
+Claim (Section 1.2, final remark): all of the paper's algorithms perform
+``O(E^{3/2})`` RAM operations, matching the trivial ``Omega(t)`` bound when
+``t = Theta(E^{3/2})``.  The simulator counts elementary operations charged
+by the algorithms; dividing by ``E^{3/2}`` along an ``E`` sweep should give
+a roughly constant series for every algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import work_upper_bound
+from repro.analysis.model import MachineParams
+from repro.analysis.verification import fit_power_law
+from repro.experiments.runner import run_on_edges
+from repro.experiments.tables import Table
+from repro.experiments.workloads import sparse_random
+
+EXPERIMENT_ID = "EXP9"
+TITLE = "Work (RAM operations) versus E"
+CLAIM = "Operations grow no faster than E^{3/2} for the paper's algorithms"
+
+PARAMS = MachineParams(memory_words=256, block_words=16)
+QUICK_EDGE_COUNTS = (512, 1024, 2048)
+FULL_EDGE_COUNTS = (512, 1024, 2048, 4096)
+ALGORITHMS = ("cache_aware", "hu_tao_chung", "dementiev")
+
+
+def run(quick: bool = True) -> Table:
+    """Run the work sweep and return the result table."""
+    edge_counts = QUICK_EDGE_COUNTS if quick else FULL_EDGE_COUNTS
+    table = Table(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        headers=("E", "algorithm", "operations", "operations / E^1.5"),
+    )
+    per_algorithm: dict[str, tuple[list[int], list[float]]] = {
+        name: ([], []) for name in ALGORITHMS
+    }
+    for num_edges in edge_counts:
+        workload = sparse_random(num_edges)
+        for algorithm in ALGORITHMS:
+            result = run_on_edges(workload.edges, algorithm, PARAMS, seed=9)
+            normalised = result.operations / work_upper_bound(workload.num_edges)
+            per_algorithm[algorithm][0].append(workload.num_edges)
+            per_algorithm[algorithm][1].append(result.operations)
+            table.add_row(workload.num_edges, algorithm, result.operations, normalised)
+    for algorithm, (xs, ys) in per_algorithm.items():
+        fit = fit_power_law(xs, ys)
+        table.add_note(
+            f"{algorithm}: log-log work slope {fit.exponent:.2f} (work-optimal means <= 1.5)"
+        )
+    return table

@@ -1,0 +1,52 @@
+"""Registry mapping experiment ids to their modules."""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+from repro.experiments import (
+    exp_ablation,
+    exp_cache_oblivious,
+    exp_coloring,
+    exp_e_scaling,
+    exp_join,
+    exp_kclique,
+    exp_lower_bound,
+    exp_m_scaling,
+    exp_multilevel,
+    exp_output_sensitivity,
+    exp_recursion,
+    exp_work,
+)
+
+#: Experiment id -> module.  Every module exposes ``run(quick: bool)`` along
+#: with ``EXPERIMENT_ID``, ``TITLE`` and ``CLAIM`` constants.
+EXPERIMENTS: dict[str, ModuleType] = {
+    exp_e_scaling.EXPERIMENT_ID: exp_e_scaling,
+    exp_m_scaling.EXPERIMENT_ID: exp_m_scaling,
+    exp_cache_oblivious.EXPERIMENT_ID: exp_cache_oblivious,
+    exp_lower_bound.EXPERIMENT_ID: exp_lower_bound,
+    exp_coloring.EXPERIMENT_ID: exp_coloring,
+    exp_recursion.EXPERIMENT_ID: exp_recursion,
+    exp_output_sensitivity.EXPERIMENT_ID: exp_output_sensitivity,
+    exp_join.EXPERIMENT_ID: exp_join,
+    exp_work.EXPERIMENT_ID: exp_work,
+    exp_ablation.EXPERIMENT_ID: exp_ablation,
+    exp_kclique.EXPERIMENT_ID: exp_kclique,
+    exp_multilevel.EXPERIMENT_ID: exp_multilevel,
+}
+
+
+def list_experiments() -> list[str]:
+    """Ids of all registered experiments, in DESIGN.md order."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> ModuleType:
+    """Look up an experiment module by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]

@@ -1,0 +1,74 @@
+"""Command-line entry point running every experiment and printing its table.
+
+Usage::
+
+    python -m repro.experiments.run_all             # full-size experiments
+    python -m repro.experiments.run_all --quick     # smaller, faster sweeps
+    python -m repro.experiments.run_all EXP1 EXP4   # a subset
+    python -m repro.experiments.run_all --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Iterable, Sequence
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.tables import Table
+
+
+def run_experiments(
+    experiment_ids: Iterable[str] | None = None, quick: bool = True
+) -> list[Table]:
+    """Run the selected experiments (all by default) and return their tables."""
+    selected = list(experiment_ids) if experiment_ids else list(EXPERIMENTS)
+    tables: list[Table] = []
+    for experiment_id in selected:
+        module = get_experiment(experiment_id)
+        outcome = module.run(quick=quick)
+        if isinstance(outcome, Table):
+            tables.append(outcome)
+        else:
+            tables.extend(outcome)
+    return tables
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the quantitative claims of Pagh & Silvestri (PODS 2014).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all); see DESIGN.md section 5",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run reduced-size sweeps (a few seconds per experiment)",
+    )
+    parser.add_argument(
+        "--output",
+        help="also write the rendered tables to this file",
+    )
+    arguments = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    tables = run_experiments(arguments.experiments or None, quick=arguments.quick)
+    elapsed = time.perf_counter() - started
+
+    rendered = "\n\n".join(table.render() for table in tables)
+    footer = f"\n\n({len(tables)} tables in {elapsed:.1f}s, quick={arguments.quick})"
+    print(rendered + footer)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + footer + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Plain-text result tables for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table of results, rendered as aligned plain text."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; the number of values must match the header."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells but the table has {len(self.headers)} columns"
+            )
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note printed under the table."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of the named column (for assertions in tests/benchmarks)."""
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        header_cells = [str(h) for h in self.headers]
+        body = [[_format_cell(cell) for cell in row] for row in self.rows]
+        widths = [len(h) for h in header_cells]
+        for row in body:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def render_row(cells: Sequence[str]) -> str:
+            return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+        lines = [
+            f"=== {self.experiment_id}: {self.title} ===",
+            f"claim: {self.claim}",
+            render_row(header_cells),
+            render_row(["-" * width for width in widths]),
+        ]
+        lines.extend(render_row(row) for row in body)
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-friendly representation (used by the benchmark extra_info)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "claim": self.claim,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

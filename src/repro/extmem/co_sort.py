@@ -1,0 +1,130 @@
+"""Cache-oblivious sorting over :class:`repro.extmem.oblivious.ExtVector`.
+
+The paper's cache-oblivious algorithm only requires "any efficient
+cache-oblivious sorting algorithm".  We provide the classic recursive
+two-way merge sort: it is oblivious to ``M`` and ``B`` and, under the LRU
+cache simulation, incurs ``O((n/B) * log2(n/M))`` block transfers -- the same
+``n/B`` leading behaviour as funnelsort with an extra logarithmic factor.
+EXPERIMENTS.md reports this substitution explicitly when discussing the
+measured exponents of the cache-oblivious algorithm.
+
+The sort is performed entirely through vector element accesses, so every
+record movement is charged by the cache simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.extmem.oblivious import ExtVector, ObliviousVM, VectorSlice
+
+Record = Any
+KeyFunc = Callable[[Record], Any]
+
+#: Below this many records the sort falls back to binary-insertion in place.
+#: It is a constant, so using it does not make the algorithm cache-aware.
+_BASE_CASE = 8
+
+
+def _identity(record: Record) -> Any:
+    return record
+
+
+def cache_oblivious_sort(
+    vm: ObliviousVM,
+    vector: ExtVector,
+    key: KeyFunc | None = None,
+) -> None:
+    """Sort ``vector`` in place using cache-oblivious merge sort."""
+    key = key if key is not None else _identity
+    n = len(vector)
+    if n <= 1:
+        return
+    scratch = vm.vector(f"{vector.name}-scratch")
+    scratch.extend(vector.iterate())
+    _merge_sort(vector.as_slice(), scratch.as_slice(), key)
+    scratch.free()
+
+
+def sorted_copy(
+    vm: ObliviousVM,
+    source: ExtVector | VectorSlice,
+    key: KeyFunc | None = None,
+    name: str = "sorted",
+) -> ExtVector:
+    """Return a new sorted vector containing the records of ``source``."""
+    out = vm.vector(name)
+    out.extend(source.iterate())
+    cache_oblivious_sort(vm, out, key=key)
+    return out
+
+
+def _merge_sort(data: VectorSlice, scratch: VectorSlice, key: KeyFunc) -> None:
+    """Recursively sort ``data`` using ``scratch`` (same length) as buffer."""
+    n = len(data)
+    if n <= _BASE_CASE:
+        _insertion_sort(data, key)
+        return
+    mid = n // 2
+    _merge_sort(data.slice(0, mid), scratch.slice(0, mid), key)
+    _merge_sort(data.slice(mid, n), scratch.slice(mid, n), key)
+    _merge(data, mid, scratch, key)
+    # Copy the merged result back from scratch into data.
+    for index in range(n):
+        data.set(index, scratch.get(index))
+
+
+def _insertion_sort(data: VectorSlice, key: KeyFunc) -> None:
+    """In-place insertion sort for constant-size base cases."""
+    n = len(data)
+    for i in range(1, n):
+        current = data.get(i)
+        current_key = key(current)
+        j = i - 1
+        while j >= 0:
+            candidate = data.get(j)
+            if key(candidate) <= current_key:
+                break
+            data.set(j + 1, candidate)
+            j -= 1
+        data.set(j + 1, current)
+
+
+def _merge(data: VectorSlice, mid: int, scratch: VectorSlice, key: KeyFunc) -> None:
+    """Merge the two sorted halves of ``data`` into ``scratch``."""
+    n = len(data)
+    left = 0
+    right = mid
+    out = 0
+    left_record = data.get(left) if left < mid else None
+    right_record = data.get(right) if right < n else None
+    while left < mid and right < n:
+        if key(left_record) <= key(right_record):
+            scratch.set(out, left_record)
+            left += 1
+            left_record = data.get(left) if left < mid else None
+        else:
+            scratch.set(out, right_record)
+            right += 1
+            right_record = data.get(right) if right < n else None
+        out += 1
+    while left < mid:
+        scratch.set(out, data.get(left))
+        left += 1
+        out += 1
+    while right < n:
+        scratch.set(out, data.get(right))
+        right += 1
+        out += 1
+
+
+def is_sorted(source: ExtVector | VectorSlice, key: KeyFunc | None = None) -> bool:
+    """Check whether ``source`` is sorted (one sequential scan)."""
+    key = key if key is not None else _identity
+    previous = None
+    for record in source.iterate():
+        current = key(record)
+        if previous is not None and current < previous:
+            return False
+        previous = current
+    return True

@@ -1,0 +1,198 @@
+"""Simulated disk: named files of records laid out in blocks.
+
+The disk itself never charges I/Os -- it is inert storage.  All accounting
+happens in :mod:`repro.extmem.machine` (explicit, cache-aware access) and
+:mod:`repro.extmem.cache` / :mod:`repro.extmem.oblivious` (cache-oblivious
+access).  The disk does, however, track how many words are currently
+allocated and the peak allocation, which is what the paper's "``O(E)`` words
+on disk" claims are measured against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.exceptions import FileClosedError
+
+Record = Any
+
+
+class ExtFile:
+    """A file of records stored on the simulated disk.
+
+    Records are opaque Python objects; by convention each record occupies one
+    machine word (see DESIGN.md, "Units").  Files are append-only through the
+    machine's buffered writers; random reads happen through explicit loads.
+    Direct access to :attr:`_records` is reserved for tests and oracles.
+    """
+
+    def __init__(self, disk: "Disk", name: str, records: list[Record] | None = None) -> None:
+        self._disk = disk
+        self.name = name
+        self._records: list[Record] = list(records) if records is not None else []
+        self._deleted = False
+        disk._register(self)
+
+    def _check_open(self) -> None:
+        if self._deleted:
+            raise FileClosedError(f"file {self.name!r} has been deleted")
+
+    def __len__(self) -> int:
+        self._check_open()
+        return len(self._records)
+
+    @property
+    def deleted(self) -> bool:
+        """Whether :meth:`delete` has been called on this file."""
+        return self._deleted
+
+    def slice(self, start: int, stop: int) -> "FileSlice":
+        """Return a zero-copy view of ``self[start:stop]``."""
+        self._check_open()
+        return FileSlice(self, start, stop)
+
+    def as_slice(self) -> "FileSlice":
+        """Return a view covering the whole file."""
+        return self.slice(0, len(self))
+
+    def delete(self) -> None:
+        """Remove the file from disk, releasing its space.
+
+        Deleting an already-deleted file is a no-op so that cleanup code can
+        be written without guards.
+        """
+        if self._deleted:
+            return
+        self._deleted = True
+        self._disk._unregister(self)
+        self._records = []
+
+    # Internal primitives used by the machine / writers. They do not charge
+    # I/Os themselves; callers are responsible for accounting.
+    def _read_range(self, start: int, stop: int) -> list[Record]:
+        self._check_open()
+        return self._records[start:stop]
+
+    def _append_many(self, records: Sequence[Record]) -> None:
+        self._check_open()
+        self._records.extend(records)
+        self._disk._grow(len(records))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "deleted" if self._deleted else f"{len(self._records)} records"
+        return f"ExtFile({self.name!r}, {state})"
+
+
+class FileSlice:
+    """A contiguous, read-only view over a range of an :class:`ExtFile`."""
+
+    def __init__(self, file: ExtFile, start: int, stop: int) -> None:
+        if start < 0 or stop < start:
+            raise ValueError(f"invalid slice bounds [{start}, {stop})")
+        stop = min(stop, len(file))
+        start = min(start, stop)
+        self.file = file
+        self.start = start
+        self.stop = stop
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def slice(self, start: int, stop: int) -> "FileSlice":
+        """Return a sub-view, with bounds relative to this slice."""
+        absolute_start = self.start + start
+        absolute_stop = min(self.start + stop, self.stop)
+        return FileSlice(self.file, absolute_start, absolute_stop)
+
+    def _read_range(self, start: int, stop: int) -> list[Record]:
+        return self.file._read_range(self.start + start, min(self.start + stop, self.stop))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FileSlice({self.file.name!r}, [{self.start}, {self.stop}))"
+
+
+# Either a whole file or a slice of one: both expose __len__ and _read_range.
+Readable = ExtFile | FileSlice
+
+
+class Disk:
+    """The simulated external memory: a collection of record files.
+
+    Parameters
+    ----------
+    track_space:
+        When true (the default) the disk records the current and peak number
+        of allocated words, which experiments use to check the paper's
+        ``O(E)`` disk-space claims.
+    """
+
+    def __init__(self, track_space: bool = True) -> None:
+        self._files: dict[str, ExtFile] = {}
+        self._name_counter = itertools.count()
+        self.track_space = track_space
+        self.current_words = 0
+        self.peak_words = 0
+
+    def file(self, name: str | None = None, records: Iterable[Record] | None = None) -> ExtFile:
+        """Create a new file, optionally pre-populated with ``records``.
+
+        Pre-populating counts toward disk space but charges no I/Os; it
+        models the input residing on disk before the algorithm starts, as the
+        external-memory model assumes.
+        """
+        if name is None:
+            name = f"tmp-{next(self._name_counter)}"
+        if name in self._files:
+            raise ValueError(f"a file named {name!r} already exists")
+        materialised = list(records) if records is not None else []
+        file = ExtFile(self, name, materialised)
+        if materialised:
+            self._grow(len(materialised))
+        return file
+
+    def _register(self, file: ExtFile) -> None:
+        self._files[file.name] = file
+
+    def _unregister(self, file: ExtFile) -> None:
+        self._files.pop(file.name, None)
+        self._shrink(len(file._records))
+
+    def _grow(self, words: int) -> None:
+        if not self.track_space:
+            return
+        self.current_words += words
+        if self.current_words > self.peak_words:
+            self.peak_words = self.current_words
+
+    def _shrink(self, words: int) -> None:
+        if not self.track_space:
+            return
+        self.current_words = max(0, self.current_words - words)
+
+    @property
+    def files(self) -> dict[str, ExtFile]:
+        """Mapping of live file names to files."""
+        return dict(self._files)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Disk({len(self._files)} files, {self.current_words} words, peak {self.peak_words})"
+
+
+def iter_records(readable: Readable, chunk: int = 1024) -> Iterator[Record]:
+    """Iterate the records of a file or slice without I/O accounting.
+
+    Only tests, oracles and in-memory reference algorithms should use this;
+    external-memory algorithms must go through the machine so that their
+    block transfers are charged.
+    """
+    position = 0
+    total = len(readable)
+    while position < total:
+        stop = min(position + chunk, total)
+        for record in readable._read_range(position, stop):
+            yield record
+        position = stop

@@ -1,0 +1,123 @@
+"""I/O accounting for the simulated external-memory machine.
+
+The central object is :class:`IOStats`: a mutable counter of block reads and
+block writes, plus an operation counter used for the paper's work-optimality
+claims.  Algorithms never touch the counters directly; the machine and the
+cache simulator charge them.  Experiments snapshot the counters before and
+after a run and report the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class IOSnapshot:
+    """An immutable copy of the counters at a point in time."""
+
+    reads: int
+    writes: int
+    operations: int
+
+    @property
+    def total(self) -> int:
+        """Total number of block transfers (reads plus writes)."""
+        return self.reads + self.writes
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(
+            reads=self.reads - other.reads,
+            writes=self.writes - other.writes,
+            operations=self.operations - other.operations,
+        )
+
+
+@dataclass
+class IOStats:
+    """Mutable counters of simulated I/Os.
+
+    Attributes
+    ----------
+    reads:
+        Number of blocks transferred from external to internal memory.
+    writes:
+        Number of blocks transferred from internal to external memory.
+    operations:
+        Number of elementary RAM operations charged by algorithms through
+        :meth:`charge_operations`; used to verify the ``O(E^{3/2})`` work
+        bound, not part of the I/O complexity.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    operations: int = 0
+    _phase_totals: dict[str, int] = field(default_factory=dict)
+
+    def charge_read(self, blocks: int = 1) -> None:
+        """Charge ``blocks`` block reads."""
+        if blocks < 0:
+            raise ValueError(f"cannot charge a negative number of reads: {blocks}")
+        self.reads += blocks
+
+    def charge_write(self, blocks: int = 1) -> None:
+        """Charge ``blocks`` block writes."""
+        if blocks < 0:
+            raise ValueError(f"cannot charge a negative number of writes: {blocks}")
+        self.writes += blocks
+
+    def charge_operations(self, count: int = 1) -> None:
+        """Charge ``count`` elementary RAM operations (work, not I/O)."""
+        if count < 0:
+            raise ValueError(f"cannot charge negative work: {count}")
+        self.operations += count
+
+    @property
+    def total(self) -> int:
+        """Total number of block transfers so far."""
+        return self.reads + self.writes
+
+    def snapshot(self) -> IOSnapshot:
+        """Return an immutable copy of the current counters."""
+        return IOSnapshot(reads=self.reads, writes=self.writes, operations=self.operations)
+
+    def since(self, snapshot: IOSnapshot) -> IOSnapshot:
+        """Return the counter deltas accumulated since ``snapshot``."""
+        return self.snapshot() - snapshot
+
+    def record_phase(self, name: str, snapshot: IOSnapshot) -> IOSnapshot:
+        """Record the I/Os since ``snapshot`` under ``name`` and return them.
+
+        Phases are purely informational; they let experiments attribute I/Os
+        to the steps of an algorithm (e.g. the high-degree phase vs. the
+        colour-partition phase of the cache-aware algorithm).
+        """
+        delta = self.since(snapshot)
+        self._phase_totals[name] = self._phase_totals.get(name, 0) + delta.total
+        return delta
+
+    @property
+    def phases(self) -> dict[str, int]:
+        """Mapping of phase name to total block transfers charged to it."""
+        return dict(self._phase_totals)
+
+    def reset(self) -> None:
+        """Zero all counters and phase records."""
+        self.reads = 0
+        self.writes = 0
+        self.operations = 0
+        self._phase_totals.clear()
+
+    def merge(self, other: "IOStats") -> None:
+        """Fold the counters of ``other`` into this object."""
+        self.reads += other.reads
+        self.writes += other.writes
+        self.operations += other.operations
+        for name, total in other._phase_totals.items():
+            self._phase_totals[name] = self._phase_totals.get(name, 0) + total
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IOStats(reads={self.reads}, writes={self.writes}, "
+            f"total={self.total}, operations={self.operations})"
+        )

@@ -1,0 +1,36 @@
+"""Graph representation, canonical degree ordering and workload generators."""
+
+from repro.graph.graph import DegreeOrder, Graph
+from repro.graph.generators import (
+    barabasi_albert,
+    clique,
+    complete_bipartite,
+    complete_tripartite,
+    erdos_renyi_gnm,
+    grid_graph,
+    path_graph,
+    planted_triangles,
+    sells_instance,
+    tripartite_random,
+)
+from repro.graph.io import edges_to_file, edges_to_vector
+from repro.graph.validation import check_canonical_edges, normalize_edges
+
+__all__ = [
+    "DegreeOrder",
+    "Graph",
+    "barabasi_albert",
+    "check_canonical_edges",
+    "clique",
+    "complete_bipartite",
+    "complete_tripartite",
+    "edges_to_file",
+    "edges_to_vector",
+    "erdos_renyi_gnm",
+    "grid_graph",
+    "normalize_edges",
+    "path_graph",
+    "planted_triangles",
+    "sells_instance",
+    "tripartite_random",
+]

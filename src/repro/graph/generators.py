@@ -1,0 +1,267 @@
+"""Workload generators for the experiments.
+
+The paper's analysis is parameterised only by the number of edges ``E`` and
+the number of triangles ``t``, so the generators below aim to cover the
+relevant regimes rather than any particular real-world dataset:
+
+* sparse random graphs (Erdős–Rényi ``G(n, m)``) -- the generic workload;
+* cliques -- the triangle-dense extreme (``t = Theta(E^{3/2})``) used by the
+  lower-bound and optimality experiments;
+* skewed (preferential-attachment) graphs -- exercise the high-degree phase;
+* triangle-free graphs and planted-triangle graphs -- output-sensitivity
+  experiments where ``t`` is controlled exactly;
+* tripartite "Sells" instances -- the database join motivation of Section 1.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.graph import Graph
+
+
+def erdos_renyi_gnm(num_vertices: int, num_edges: int, seed: int | None = None) -> Graph:
+    """A uniformly random simple graph with exactly ``num_edges`` edges.
+
+    Sampling is by rejection over vertex pairs, which is efficient whenever
+    ``num_edges`` is well below ``C(num_vertices, 2)``.
+    """
+    if num_vertices < 2 and num_edges > 0:
+        raise ValueError("cannot place edges on fewer than two vertices")
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError(
+            f"{num_edges} edges requested but a simple graph on {num_vertices} "
+            f"vertices has at most {max_edges}"
+        )
+    rng = random.Random(seed)
+    graph = Graph(vertices=range(num_vertices))
+    chosen: set[tuple[int, int]] = set()
+    if num_edges > max_edges // 2:
+        # Dense regime: sample the complement of a random subset of all pairs.
+        all_pairs = [(u, v) for u in range(num_vertices) for v in range(u + 1, num_vertices)]
+        rng.shuffle(all_pairs)
+        chosen = set(all_pairs[:num_edges])
+    else:
+        while len(chosen) < num_edges:
+            u = rng.randrange(num_vertices)
+            v = rng.randrange(num_vertices)
+            if u == v:
+                continue
+            if u > v:
+                u, v = v, u
+            chosen.add((u, v))
+    for u, v in chosen:
+        graph.add_edge(u, v)
+    return graph
+
+
+def clique(num_vertices: int) -> Graph:
+    """The complete graph on ``num_vertices`` vertices.
+
+    A clique of ``sqrt(E)`` vertices has ``Theta(E^{3/2})`` triangles, the
+    worst case used to show the upper bounds are tight (Theorem 3).
+    """
+    graph = Graph(vertices=range(num_vertices))
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            graph.add_edge(u, v)
+    return graph
+
+
+def complete_bipartite(left: int, right: int) -> Graph:
+    """The complete bipartite graph ``K_{left,right}`` (triangle-free)."""
+    graph = Graph(vertices=range(left + right))
+    for u in range(left):
+        for v in range(left, left + right):
+            graph.add_edge(u, v)
+    return graph
+
+
+def complete_tripartite(a: int, b: int, c: int) -> Graph:
+    """The complete tripartite graph; every cross-part triple is a triangle."""
+    graph = Graph(vertices=range(a + b + c))
+    first = range(a)
+    second = range(a, a + b)
+    third = range(a + b, a + b + c)
+    for u in first:
+        for v in second:
+            graph.add_edge(u, v)
+    for u in first:
+        for w in third:
+            graph.add_edge(u, w)
+    for v in second:
+        for w in third:
+            graph.add_edge(v, w)
+    return graph
+
+
+def path_graph(num_vertices: int) -> Graph:
+    """A simple path (triangle-free control workload)."""
+    graph = Graph(vertices=range(num_vertices))
+    for u in range(num_vertices - 1):
+        graph.add_edge(u, u + 1)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A two-dimensional grid (triangle-free control workload)."""
+    graph = Graph(vertices=range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            vertex = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(vertex, vertex + 1)
+            if r + 1 < rows:
+                graph.add_edge(vertex, vertex + cols)
+    return graph
+
+
+def barabasi_albert(num_vertices: int, edges_per_vertex: int, seed: int | None = None) -> Graph:
+    """A preferential-attachment graph with a skewed degree distribution.
+
+    Used to exercise the high-degree phase of the cache-aware algorithm
+    (vertices with degree above ``sqrt(E * M)``) and the local high-degree
+    removal of the cache-oblivious recursion.
+    """
+    if edges_per_vertex < 1:
+        raise ValueError("each new vertex must attach with at least one edge")
+    if num_vertices <= edges_per_vertex:
+        raise ValueError("need more vertices than edges per vertex")
+    rng = random.Random(seed)
+    graph = Graph(vertices=range(num_vertices))
+    # Start from a small clique so the first attachments have targets.
+    core = edges_per_vertex + 1
+    targets: list[int] = []
+    for u in range(core):
+        for v in range(u + 1, core):
+            graph.add_edge(u, v)
+            targets.extend((u, v))
+    for new_vertex in range(core, num_vertices):
+        chosen: set[int] = set()
+        while len(chosen) < edges_per_vertex:
+            chosen.add(rng.choice(targets))
+        for target in chosen:
+            graph.add_edge(new_vertex, target)
+            targets.extend((new_vertex, target))
+    return graph
+
+
+def planted_triangles(
+    num_triangles: int,
+    filler_bipartite_edges: int = 0,
+    seed: int | None = None,
+) -> Graph:
+    """A graph with exactly ``num_triangles`` triangles.
+
+    The triangles are vertex-disjoint; optional filler edges form a random
+    bipartite (hence triangle-free) graph on a separate set of vertices, so
+    the total triangle count stays exactly ``num_triangles`` while the edge
+    count can be scaled independently -- the knob the output-sensitivity
+    experiment needs.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    next_vertex = 0
+    for _ in range(num_triangles):
+        a, b, c = next_vertex, next_vertex + 1, next_vertex + 2
+        graph.add_edge(a, b)
+        graph.add_edge(b, c)
+        graph.add_edge(a, c)
+        next_vertex += 3
+    if filler_bipartite_edges > 0:
+        side = max(2, int(filler_bipartite_edges**0.5) + 1)
+        left = [next_vertex + i for i in range(side)]
+        right = [next_vertex + side + i for i in range(side)]
+        chosen: set[tuple[int, int]] = set()
+        while len(chosen) < min(filler_bipartite_edges, side * side):
+            u = rng.choice(left)
+            v = rng.choice(right)
+            chosen.add((u, v))
+        for u, v in chosen:
+            graph.add_edge(u, v)
+    return graph
+
+
+@dataclass(frozen=True)
+class SellsInstance:
+    """A synthetic instance of the paper's database example.
+
+    The relation ``Sells(salesperson, brand, productType)`` is in 5th normal
+    form exactly when it equals the natural join of its three binary
+    projections; triangles of the tripartite union graph are the tuples of
+    that join.
+    """
+
+    graph: Graph
+    salespeople: tuple[str, ...]
+    brands: tuple[str, ...]
+    product_types: tuple[str, ...]
+    sells_pairs: tuple[tuple[str, str], ...]
+    brand_type_pairs: tuple[tuple[str, str], ...]
+    sells_types: tuple[tuple[str, str], ...]
+
+
+def sells_instance(
+    num_salespeople: int,
+    num_brands: int,
+    num_types: int,
+    pair_probability: float = 0.3,
+    seed: int | None = None,
+) -> SellsInstance:
+    """Generate a random ``Sells`` instance as a tripartite graph.
+
+    Each salesperson-brand, brand-type and salesperson-type pair is present
+    independently with probability ``pair_probability``; a triangle of the
+    union graph corresponds to one tuple of the reconstructed ``Sells``
+    relation.
+    """
+    if not 0 <= pair_probability <= 1:
+        raise ValueError(f"pair probability must lie in [0, 1], got {pair_probability}")
+    rng = random.Random(seed)
+    salespeople = tuple(f"s{i}" for i in range(num_salespeople))
+    brands = tuple(f"b{i}" for i in range(num_brands))
+    types = tuple(f"t{i}" for i in range(num_types))
+    graph = Graph(vertices=salespeople + brands + types)
+    sells_pairs = []
+    brand_type_pairs = []
+    sells_types = []
+    for s in salespeople:
+        for b in brands:
+            if rng.random() < pair_probability:
+                graph.add_edge(s, b)
+                sells_pairs.append((s, b))
+    for b in brands:
+        for t in types:
+            if rng.random() < pair_probability:
+                graph.add_edge(b, t)
+                brand_type_pairs.append((b, t))
+    for s in salespeople:
+        for t in types:
+            if rng.random() < pair_probability:
+                graph.add_edge(s, t)
+                sells_types.append((s, t))
+    return SellsInstance(
+        graph=graph,
+        salespeople=salespeople,
+        brands=brands,
+        product_types=types,
+        sells_pairs=tuple(sells_pairs),
+        brand_type_pairs=tuple(brand_type_pairs),
+        sells_types=tuple(sells_types),
+    )
+
+
+def tripartite_random(part_size: int, pair_probability: float, seed: int | None = None) -> Graph:
+    """A random tripartite graph with equal part sizes (join-style workload)."""
+    instance = sells_instance(
+        num_salespeople=part_size,
+        num_brands=part_size,
+        num_types=part_size,
+        pair_probability=pair_probability,
+        seed=seed,
+    )
+    return instance.graph

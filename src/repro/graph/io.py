@@ -1,0 +1,47 @@
+"""Moving edge lists between graphs, the explicit machine and the oblivious VM.
+
+The input of every external-memory algorithm is an edge file already resident
+on disk, so these constructors charge no I/Os; every subsequent access by the
+algorithms is charged by the machine or the cache simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.extmem.disk import ExtFile
+from repro.extmem.machine import Machine
+from repro.extmem.oblivious import ExtVector, ObliviousVM
+from repro.graph.graph import DegreeOrder, Graph
+from repro.graph.validation import RankedEdge, check_canonical_edges
+
+
+def edges_to_file(machine: Machine, edges: Sequence[RankedEdge], name: str = "edges") -> ExtFile:
+    """Place a canonical edge list on the machine's disk as the input file."""
+    check_canonical_edges(edges)
+    return machine.file_from_records(edges, name=name)
+
+
+def edges_to_vector(vm: ObliviousVM, edges: Sequence[RankedEdge], name: str = "edges") -> ExtVector:
+    """Place a canonical edge list on the oblivious VM's disk as the input vector."""
+    check_canonical_edges(edges)
+    return vm.input_vector(edges, name=name)
+
+
+def graph_to_file(machine: Machine, graph: Graph, name: str = "edges") -> tuple[ExtFile, DegreeOrder]:
+    """Canonicalise ``graph`` and place its edge list on the machine's disk."""
+    order = graph.degree_order()
+    return edges_to_file(machine, order.edges, name=name), order
+
+
+def graph_to_vector(vm: ObliviousVM, graph: Graph, name: str = "edges") -> tuple[ExtVector, DegreeOrder]:
+    """Canonicalise ``graph`` and place its edge list on the VM's disk."""
+    order = graph.degree_order()
+    return edges_to_vector(vm, order.edges, name=name), order
+
+
+def file_to_edges(file: ExtFile) -> list[RankedEdge]:
+    """Read an edge file back into a Python list (tests/oracles only)."""
+    from repro.extmem.disk import iter_records
+
+    return list(iter_records(file))

@@ -1,0 +1,70 @@
+"""Validation and normalisation of edge lists.
+
+The enumeration algorithms operate on the canonical representation produced
+by :meth:`repro.graph.graph.Graph.degree_order`: integer-ranked edges
+``(u, v)`` with ``u < v`` sorted lexicographically.  These helpers check and
+produce that form for callers who start from raw edge lists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exceptions import GraphFormatError
+
+RankedEdge = tuple[int, int]
+
+
+def normalize_edges(edges: Iterable[tuple[int, int]]) -> list[RankedEdge]:
+    """Orient, deduplicate and sort an integer edge list.
+
+    Raises :class:`repro.exceptions.GraphFormatError` on self-loops or
+    negative vertex ids.
+    """
+    seen: set[RankedEdge] = set()
+    for u, v in edges:
+        if u == v:
+            raise GraphFormatError(f"self-loop on vertex {u} is not allowed")
+        if u < 0 or v < 0:
+            raise GraphFormatError(f"vertex ids must be non-negative, got ({u}, {v})")
+        if u > v:
+            u, v = v, u
+        seen.add((u, v))
+    return sorted(seen)
+
+
+def check_canonical_edges(edges: Sequence[RankedEdge]) -> None:
+    """Verify that ``edges`` is in canonical form; raise otherwise.
+
+    Canonical form means: every edge is a pair of non-negative integers
+    ``(u, v)`` with ``u < v``, there are no duplicates and the list is sorted
+    lexicographically.
+    """
+    previous: RankedEdge | None = None
+    for edge in edges:
+        if len(edge) != 2:
+            raise GraphFormatError(f"edge {edge!r} is not a pair")
+        u, v = edge
+        if not isinstance(u, int) or not isinstance(v, int):
+            raise GraphFormatError(f"edge {edge!r} has non-integer endpoints")
+        if u < 0 or v < 0:
+            raise GraphFormatError(f"edge {edge!r} has negative endpoints")
+        if u >= v:
+            raise GraphFormatError(f"edge {edge!r} is not oriented with u < v")
+        if previous is not None:
+            if edge == previous:
+                raise GraphFormatError(f"duplicate edge {edge!r}")
+            if edge < previous:
+                raise GraphFormatError(
+                    f"edge list is not sorted: {edge!r} follows {previous!r}"
+                )
+        previous = edge
+
+
+def max_vertex(edges: Sequence[RankedEdge]) -> int:
+    """Largest vertex id appearing in ``edges`` (-1 for an empty list)."""
+    largest = -1
+    for u, v in edges:
+        if v > largest:
+            largest = v
+    return largest

@@ -1,0 +1,34 @@
+"""Hashing and limited-independence substrates.
+
+The paper relies on two sources of structured randomness:
+
+* a **4-wise independent** family of functions (Sections 2 and 3), realised
+  here as degree-3 polynomials over the Mersenne prime field
+  (:mod:`repro.hashing.kwise`);
+* an **almost 4-wise independent (small-bias)** family of ``{0,1}``-valued
+  functions (Section 4, Lemma 6), realised as the AGHP construction over
+  ``GF(2^m)`` (:mod:`repro.hashing.small_bias`).
+
+:mod:`repro.hashing.coloring` packages both as vertex colourings with the
+interfaces the enumeration algorithms need.
+"""
+
+from repro.hashing.coloring import (
+    ConstantColoring,
+    RandomColoring,
+    RefinedColoring,
+    TableColoring,
+)
+from repro.hashing.gf2 import GF2Field
+from repro.hashing.kwise import KWiseIndependentHash
+from repro.hashing.small_bias import SmallBiasFamily
+
+__all__ = [
+    "ConstantColoring",
+    "GF2Field",
+    "KWiseIndependentHash",
+    "RandomColoring",
+    "RefinedColoring",
+    "SmallBiasFamily",
+    "TableColoring",
+]

@@ -1,0 +1,110 @@
+"""Vertex colourings used by the enumeration algorithms.
+
+A *colouring* maps vertex ids to small integers.  The paper uses three kinds:
+
+* the constant colouring (the top-level ``(1,1,1)``-enumeration problem);
+* a 4-wise independent random colouring with ``c = sqrt(E/M)`` colours
+  (cache-aware algorithm, Section 2);
+* bit-by-bit refinements ``xi'(v) = 2 xi(v) + b(v)`` where ``b`` is either a
+  4-wise independent random bit (cache-oblivious recursion, Section 3) or a
+  deterministically chosen member of a small-bias family (Section 4).
+
+All colourings implement ``color_of(vertex) -> int`` and expose
+``num_colors``; colours are integers ``0 .. num_colors - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.hashing.kwise import KWiseIndependentHash
+
+
+class Coloring(Protocol):
+    """Structural protocol for vertex colourings."""
+
+    num_colors: int
+
+    def color_of(self, vertex: int) -> int:
+        """Colour of ``vertex`` (an integer in ``[0, num_colors)``)."""
+        ...
+
+
+class ConstantColoring:
+    """Every vertex gets colour 0; the top-level (1,1,1) problem."""
+
+    def __init__(self) -> None:
+        self.num_colors = 1
+
+    def color_of(self, vertex: int) -> int:
+        return 0
+
+
+class RandomColoring:
+    """A 4-wise independent random colouring with a given number of colours.
+
+    Colour values are cached per vertex: the model assumes each vertex's
+    colour is stored with the vertex anyway, and the algorithms evaluate the
+    colouring many times per vertex (sort keys, cone filters), so caching
+    only removes redundant recomputation of the polynomial hash.
+    """
+
+    def __init__(self, num_colors: int, seed: int | None = None) -> None:
+        if num_colors < 1:
+            raise ValueError(f"need at least one colour, got {num_colors}")
+        self.num_colors = num_colors
+        self._hash = KWiseIndependentHash(num_colors, independence=4, seed=seed)
+        self._cache: dict[int, int] = {}
+
+    def color_of(self, vertex: int) -> int:
+        cached = self._cache.get(vertex)
+        if cached is None:
+            cached = self._hash(vertex)
+            self._cache[vertex] = cached
+        return cached
+
+
+class TableColoring:
+    """A colouring backed by an explicit mapping (used by the derandomization).
+
+    Vertices missing from the table default to colour 0, which keeps the
+    class convenient for incrementally built colourings.
+    """
+
+    def __init__(self, table: dict[int, int], num_colors: int) -> None:
+        if num_colors < 1:
+            raise ValueError(f"need at least one colour, got {num_colors}")
+        bad = [v for v, c in table.items() if c < 0 or c >= num_colors]
+        if bad:
+            raise ValueError(f"colours out of range for vertices {bad[:5]}")
+        self.num_colors = num_colors
+        self._table = dict(table)
+
+    def color_of(self, vertex: int) -> int:
+        return self._table.get(vertex, 0)
+
+
+class RefinedColoring:
+    """``xi'(v) = 2 xi(v) + b(v)``: append one bit to an existing colouring.
+
+    ``bit`` may be any callable from vertex ids to ``{0, 1}`` -- a
+    :class:`repro.hashing.kwise.KWiseIndependentHash` with range 2 for the
+    randomized algorithms, or a
+    :class:`repro.hashing.small_bias.BitFunction` for the derandomized one.
+    """
+
+    def __init__(self, parent: Coloring, bit: Callable[[int], int]) -> None:
+        self.parent = parent
+        self.bit = bit
+        self.num_colors = 2 * parent.num_colors
+
+    def color_of(self, vertex: int) -> int:
+        bit = self.bit(vertex)
+        if bit not in (0, 1):
+            raise ValueError(f"bit function returned {bit!r}, expected 0 or 1")
+        return 2 * self.parent.color_of(vertex) + bit
+
+
+def random_bit_function(seed: int | None = None) -> KWiseIndependentHash:
+    """A 4-wise independent random bit function (range 2), for refinements."""
+    return KWiseIndependentHash(2, independence=4, seed=seed)

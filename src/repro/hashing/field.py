@@ -1,0 +1,33 @@
+"""Arithmetic over the Mersenne-prime field used by the k-wise hash family.
+
+The polynomial hash family of :mod:`repro.hashing.kwise` evaluates degree-
+``(k-1)`` polynomials over a prime field.  We use the Mersenne prime
+``2^61 - 1``, which comfortably exceeds any vertex-id universe used in the
+experiments and allows fast modular reduction.
+"""
+
+from __future__ import annotations
+
+#: The Mersenne prime 2^61 - 1.
+MERSENNE_PRIME: int = (1 << 61) - 1
+
+
+def mod_p(value: int) -> int:
+    """Reduce ``value`` modulo the Mersenne prime ``2^61 - 1``.
+
+    Python's big integers make a plain ``%`` correct for any input; the
+    helper exists to keep the constant in one place and to document intent.
+    """
+    return value % MERSENNE_PRIME
+
+
+def poly_eval(coefficients: list[int], x: int) -> int:
+    """Evaluate a polynomial with the given coefficients at ``x`` via Horner.
+
+    ``coefficients[0]`` is the constant term.  The result lies in
+    ``[0, 2^61 - 1)``.
+    """
+    accumulator = 0
+    for coefficient in reversed(coefficients):
+        accumulator = (accumulator * x + coefficient) % MERSENNE_PRIME
+    return accumulator

@@ -1,0 +1,66 @@
+"""k-wise independent hash families (polynomial construction).
+
+A uniformly random polynomial of degree ``k - 1`` over a prime field is a
+k-wise independent function of its argument (Wegman & Carter).  The paper
+uses ``k = 4`` both for the colouring ``xi`` of the cache-aware algorithm
+(Section 2) and for the refinement bits ``b`` of the cache-oblivious
+recursion (Section 3).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.hashing.field import MERSENNE_PRIME, poly_eval
+
+
+class KWiseIndependentHash:
+    """A function drawn from a k-wise independent family.
+
+    Parameters
+    ----------
+    range_size:
+        The hash maps into ``{0, ..., range_size - 1}``.  The mapping from
+        the field to the range is by ``mod range_size``; the induced bias is
+        at most ``range_size / p`` with ``p = 2^61 - 1``, negligible for the
+        ranges used here.
+    independence:
+        The independence parameter ``k`` (degree ``k - 1`` polynomial);
+        defaults to 4 as required by the paper's analysis.
+    seed / rng:
+        Source of the random coefficients; pass a seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        range_size: int,
+        independence: int = 4,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if range_size < 1:
+            raise ValueError(f"range size must be positive, got {range_size}")
+        if independence < 1:
+            raise ValueError(f"independence must be positive, got {independence}")
+        if rng is None:
+            rng = random.Random(seed)
+        self.range_size = range_size
+        self.independence = independence
+        # The leading coefficient may be zero without hurting independence;
+        # all coefficients are drawn uniformly from the field.
+        self.coefficients = [rng.randrange(MERSENNE_PRIME) for _ in range(independence)]
+
+    def __call__(self, value: int) -> int:
+        """Hash ``value`` into ``{0, ..., range_size - 1}``."""
+        return poly_eval(self.coefficients, value % MERSENNE_PRIME) % self.range_size
+
+    def bit(self, value: int) -> int:
+        """Hash ``value`` to a single bit (requires ``range_size == 2``)."""
+        if self.range_size != 2:
+            raise ValueError("bit() requires a family with range size 2")
+        return self(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KWiseIndependentHash(range={self.range_size}, k={self.independence})"
+        )

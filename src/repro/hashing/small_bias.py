@@ -1,0 +1,113 @@
+"""Small-bias (almost k-wise independent) families of binary functions.
+
+Section 4 of the paper derandomizes the cache-aware algorithm by replacing
+the random refinement bit ``b : V -> {0, 1}`` with a function chosen from a
+small, explicitly enumerable sample space with almost 4-wise independent
+bits (Lemma 6, citing Alon, Goldreich, Håstad and Peralta).
+
+This module implements the AGHP *powering* construction over ``GF(2^m)``:
+a sample point is a pair ``(x, y)`` of field elements and the bit assigned
+to position ``v`` is the GF(2) inner product ``<x^{v+1}, y>``.  The family
+has ``2^{2m}`` members and bias ``<= n / 2^m`` over any parity of at most
+``n`` positions, hence it is almost k-wise independent for every constant
+``k``.
+
+The greedy derandomization enumerates the family, so its size matters for
+running time; :meth:`SmallBiasFamily.with_size_at_most` picks the largest
+supported ``m`` whose family still fits a caller-supplied budget.  Capping
+the family below the size required by Lemma 6 voids the worst-case
+guarantee (the algorithm then verifies the potential inequality explicitly
+and reports whether it was certified).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.hashing.gf2 import GF2Field
+
+
+@dataclass(frozen=True)
+class BitFunction:
+    """One member of the family: ``bit(v) = <x^{v+1}, y>`` over ``GF(2^m)``."""
+
+    field: GF2Field
+    x: int
+    y: int
+
+    def __call__(self, position: int) -> int:
+        """The bit assigned to ``position`` (a vertex id, any non-negative int)."""
+        if position < 0:
+            raise ValueError(f"positions must be non-negative, got {position}")
+        power = self.field.power(self.x, position + 1)
+        return self.field.inner_product_bit(power, self.y)
+
+
+class SmallBiasFamily:
+    """The AGHP epsilon-biased family of ``{0,1}``-valued functions."""
+
+    def __init__(self, degree: int) -> None:
+        self.field = GF2Field(degree)
+        self.degree = degree
+
+    @property
+    def size(self) -> int:
+        """Number of functions in the family (``2^{2m}``)."""
+        return self.field.size * self.field.size
+
+    def bias(self, positions: int) -> float:
+        """Upper bound on the bias over parities of at most ``positions`` positions."""
+        return positions / self.field.size
+
+    def function(self, index: int) -> BitFunction:
+        """Return the ``index``-th function of the family (row-major over ``(x, y)``)."""
+        if index < 0 or index >= self.size:
+            raise IndexError(f"family has {self.size} functions, index {index} out of range")
+        x = index // self.field.size
+        y = index % self.field.size
+        return BitFunction(self.field, x, y)
+
+    def functions(self) -> Iterator[BitFunction]:
+        """Iterate over every function in the family."""
+        for x in self.field.elements():
+            for y in self.field.elements():
+                yield BitFunction(self.field, x, y)
+
+    @classmethod
+    def for_universe(cls, universe_size: int, alpha: float) -> "SmallBiasFamily":
+        """Family with bias at most ``alpha / 16`` over a universe of vertices.
+
+        This mirrors Lemma 6: with bias ``alpha * 2^{-4}`` over parities of up
+        to four positions drawn from a universe of ``universe_size`` vertices,
+        every pattern of four bits deviates from uniform by at most a
+        ``(1 + alpha)`` factor.
+        """
+        if universe_size < 1:
+            raise ValueError("universe size must be positive")
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must lie in (0, 1], got {alpha}")
+        # bias over <=4 positions of the AGHP family is <= 4 / 2^m.
+        needed = max(2, math.ceil(math.log2(64.0 / alpha)))
+        supported = _largest_supported_degree()
+        return cls(min(needed, supported))
+
+    @classmethod
+    def with_size_at_most(cls, max_size: int) -> "SmallBiasFamily":
+        """The largest supported family whose size does not exceed ``max_size``."""
+        if max_size < 16:
+            raise ValueError("the smallest supported family has 16 functions (degree 2)")
+        degree = 2
+        while 1 << (2 * (degree + 1)) <= max_size and degree + 1 <= _largest_supported_degree():
+            degree += 1
+        return cls(degree)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SmallBiasFamily(degree={self.degree}, size={self.size})"
+
+
+def _largest_supported_degree() -> int:
+    from repro.hashing.gf2 import IRREDUCIBLE_POLYNOMIALS
+
+    return max(IRREDUCIBLE_POLYNOMIALS)

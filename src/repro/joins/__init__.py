@@ -1,0 +1,17 @@
+"""The database-theory motivation: cyclic joins computed by triangle enumeration."""
+
+from repro.joins.fifth_normal_form import (
+    decompose_sells,
+    is_join_dependent,
+    reconstruct_by_joins,
+)
+from repro.joins.relation import Relation
+from repro.joins.triangle_join import triangle_join
+
+__all__ = [
+    "Relation",
+    "decompose_sells",
+    "is_join_dependent",
+    "reconstruct_by_joins",
+    "triangle_join",
+]

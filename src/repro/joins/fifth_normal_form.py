@@ -1,0 +1,71 @@
+"""The 5th-normal-form example from the paper's introduction.
+
+``Sells(salesperson, brand, productType)`` records which products each
+salesperson sells.  When every salesperson sells exactly the cross product
+of a brand set and a type set, the relation satisfies the join dependency
+over its three binary projections and (being reconstructible from smaller
+relations) is *not* in 5NF; the normalised schema stores the three binary
+projections and recomputes ``Sells`` as their natural join -- which is
+precisely a triangle enumeration over the union of the three bipartite
+graphs (see :mod:`repro.joins.triangle_join`).
+"""
+
+from __future__ import annotations
+
+from repro.joins.relation import Relation
+
+SELLS_ATTRIBUTES = ("salesperson", "brand", "productType")
+
+
+def decompose_sells(sells: Relation) -> tuple[Relation, Relation, Relation]:
+    """Project ``Sells`` onto its three attribute pairs.
+
+    Returns ``(SB, BT, ST)`` with schemas ``(salesperson, brand)``,
+    ``(brand, productType)`` and ``(salesperson, productType)``.
+    """
+    _require_sells_schema(sells)
+    sb = sells.project(("salesperson", "brand"), name="SB")
+    bt = sells.project(("brand", "productType"), name="BT")
+    st = sells.project(("salesperson", "productType"), name="ST")
+    return sb, bt, st
+
+
+def reconstruct_by_joins(sb: Relation, bt: Relation, st: Relation) -> Relation:
+    """Recompute ``Sells`` as the natural join ``SB ⋈ BT ⋈ ST``."""
+    joined = sb.natural_join(bt).natural_join(st)
+    return Relation(
+        "Sells(reconstructed)",
+        SELLS_ATTRIBUTES,
+        (
+            _reorder(row, joined.attributes)
+            for row in joined.rows()
+        ),
+    )
+
+
+def is_join_dependent(sells: Relation) -> bool:
+    """Whether ``Sells`` equals the join of its three binary projections.
+
+    When this holds the relation is not in 5NF and should be decomposed; the
+    reconstruction of the decomposed form is then a triangle-enumeration
+    instance.
+    """
+    _require_sells_schema(sells)
+    sb, bt, st = decompose_sells(sells)
+    return reconstruct_by_joins(sb, bt, st) == _canonical(sells)
+
+
+def _require_sells_schema(sells: Relation) -> None:
+    if tuple(sells.attributes) != SELLS_ATTRIBUTES:
+        raise ValueError(
+            f"expected schema {SELLS_ATTRIBUTES}, got {tuple(sells.attributes)}"
+        )
+
+
+def _canonical(sells: Relation) -> Relation:
+    return Relation("Sells(reconstructed)", SELLS_ATTRIBUTES, sells.rows())
+
+
+def _reorder(row: tuple, attributes: tuple[str, ...]) -> tuple:
+    mapping = dict(zip(attributes, row))
+    return tuple(mapping[a] for a in SELLS_ATTRIBUTES)

@@ -1,0 +1,119 @@
+"""A minimal relational-algebra layer.
+
+Just enough of the relational model to state and exercise the paper's
+database motivation: named attributes, projection, selection and natural
+join.  Tuples are stored as plain Python tuples in attribute order; the
+relation is a set (bag semantics are not needed for the 5NF example).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.exceptions import ReproError
+
+Row = tuple[Any, ...]
+
+
+class RelationError(ReproError):
+    """Raised for schema mismatches in relational operations."""
+
+
+class Relation:
+    """An in-memory relation with named attributes and set semantics."""
+
+    def __init__(self, name: str, attributes: Sequence[str], rows: Iterable[Row] = ()) -> None:
+        if len(set(attributes)) != len(attributes):
+            raise RelationError(f"duplicate attribute names in {attributes!r}")
+        self.name = name
+        self.attributes = tuple(attributes)
+        self._rows: set[Row] = set()
+        for row in rows:
+            self.add(row)
+
+    # ------------------------------------------------------------------
+    # construction and basic access
+    # ------------------------------------------------------------------
+    def add(self, row: Row) -> None:
+        """Insert one tuple (must match the arity of the schema)."""
+        row = tuple(row)
+        if len(row) != len(self.attributes):
+            raise RelationError(
+                f"tuple {row!r} has arity {len(row)}, schema {self.attributes!r} "
+                f"expects {len(self.attributes)}"
+            )
+        self._rows.add(row)
+
+    def rows(self) -> set[Row]:
+        """All tuples (a copy)."""
+        return set(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.attributes != other.attributes:
+            return False
+        return self._rows == other._rows
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are rarely hashed
+        return hash((self.attributes, frozenset(self._rows)))
+
+    # ------------------------------------------------------------------
+    # relational operators
+    # ------------------------------------------------------------------
+    def project(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
+        """Projection onto the given attributes (duplicates collapse)."""
+        indices = [self._index_of(a) for a in attributes]
+        projected = Relation(name or f"pi_{self.name}", attributes)
+        for row in self._rows:
+            projected.add(tuple(row[i] for i in indices))
+        return projected
+
+    def select(self, predicate: Callable[[dict[str, Any]], bool], name: str | None = None) -> "Relation":
+        """Selection by a predicate over an attribute-name -> value mapping."""
+        selected = Relation(name or f"sigma_{self.name}", self.attributes)
+        for row in self._rows:
+            if predicate(dict(zip(self.attributes, row))):
+                selected.add(row)
+        return selected
+
+    def natural_join(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Natural join on all shared attribute names (hash join)."""
+        shared = [a for a in self.attributes if a in other.attributes]
+        other_only = [a for a in other.attributes if a not in shared]
+        result_attributes = list(self.attributes) + other_only
+        result = Relation(name or f"({self.name} ⋈ {other.name})", result_attributes)
+
+        self_key_indices = [self._index_of(a) for a in shared]
+        other_key_indices = [other._index_of(a) for a in shared]
+        other_value_indices = [other._index_of(a) for a in other_only]
+
+        buckets: dict[Row, list[Row]] = {}
+        for row in other._rows:
+            key = tuple(row[i] for i in other_key_indices)
+            buckets.setdefault(key, []).append(row)
+        for row in self._rows:
+            key = tuple(row[i] for i in self_key_indices)
+            for match in buckets.get(key, ()):
+                result.add(row + tuple(match[i] for i in other_value_indices))
+        return result
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _index_of(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError as error:
+            raise RelationError(
+                f"attribute {attribute!r} not in schema {self.attributes!r}"
+            ) from error
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.name!r}, {self.attributes!r}, {len(self._rows)} rows)"

@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.model import MachineParams
+from repro.core.baselines.in_memory import triangles_in_memory
+from repro.extmem.machine import Machine
+from repro.extmem.oblivious import ObliviousVM
+from repro.extmem.stats import IOStats
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def small_params() -> MachineParams:
+    """A deliberately tiny machine so that even small inputs exceed memory."""
+    return MachineParams(memory_words=64, block_words=8)
+
+
+@pytest.fixture
+def default_params() -> MachineParams:
+    """The default machine used by most integration-style tests."""
+    return MachineParams(memory_words=256, block_words=16)
+
+
+@pytest.fixture
+def machine_factory():
+    """Factory building a fresh machine (and stats) for a given parameter set."""
+
+    def build(params: MachineParams | None = None) -> Machine:
+        return Machine(params if params is not None else MachineParams(64, 8), IOStats())
+
+    return build
+
+
+@pytest.fixture
+def vm_factory():
+    """Factory building a fresh cache-oblivious VM for a given parameter set."""
+
+    def build(params: MachineParams | None = None) -> ObliviousVM:
+        return ObliviousVM(params if params is not None else MachineParams(64, 8), IOStats())
+
+    return build
+
+
+def canonical_edges(graph: Graph) -> list[tuple[int, int]]:
+    """Canonical ranked edge list of a graph (shared helper, not a fixture)."""
+    return graph.degree_order().edges
+
+
+def oracle_triangles(edges) -> set[tuple[int, int, int]]:
+    """Ground-truth triangle set of a canonical edge list."""
+    return set(triangles_in_memory(edges))

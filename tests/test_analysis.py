@@ -1,0 +1,164 @@
+"""Tests for the cost model, bounds and verification helpers (repro.analysis)."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    bnlj_io,
+    cache_aware_io,
+    cache_oblivious_io,
+    colour_count,
+    dementiev_io,
+    enumeration_lower_bound_for_clique,
+    expected_colour_collisions,
+    high_degree_threshold,
+    hu_tao_chung_io,
+    improvement_factor,
+    lower_bound_io,
+    scan_io,
+    sort_io,
+    work_upper_bound,
+)
+from repro.analysis.model import MachineParams
+from repro.analysis.verification import (
+    bounded_ratio_band,
+    fit_power_law,
+    geometric_mean,
+    ratio_series,
+)
+from repro.exceptions import InvalidConfigurationError
+
+
+class TestMachineParams:
+    def test_valid_configuration(self):
+        params = MachineParams(memory_words=512, block_words=16)
+        assert params.blocks_in_memory == 32
+        assert params.is_tall_cache
+
+    def test_block_must_be_positive(self):
+        with pytest.raises(InvalidConfigurationError):
+            MachineParams(memory_words=16, block_words=0)
+
+    def test_memory_must_hold_two_blocks(self):
+        with pytest.raises(InvalidConfigurationError):
+            MachineParams(memory_words=16, block_words=16)
+
+    def test_tall_cache_detection(self):
+        assert not MachineParams(memory_words=64, block_words=16).is_tall_cache
+
+    def test_scaled_memory(self):
+        params = MachineParams(memory_words=128, block_words=16)
+        doubled = params.scaled_memory(2)
+        assert doubled.memory_words == 256
+        assert doubled.block_words == 16
+        floor = params.scaled_memory(0.01)
+        assert floor.memory_words == 32  # never below 2 blocks
+
+    def test_default_is_valid_and_tall(self):
+        assert MachineParams.default().is_tall_cache
+
+
+class TestBounds:
+    def setup_method(self):
+        self.params = MachineParams(memory_words=256, block_words=16)
+
+    def test_scan_io(self):
+        assert scan_io(0, self.params) == 0
+        assert scan_io(1, self.params) == 1
+        assert scan_io(1600, self.params) == 100
+
+    def test_sort_io_in_memory_regime(self):
+        assert sort_io(100, self.params) == pytest.approx(100 / 16)
+
+    def test_sort_io_grows_superlinearly_but_gently(self):
+        small = sort_io(10_000, self.params)
+        large = sort_io(20_000, self.params)
+        assert 2.0 <= large / small <= 3.0
+
+    def test_algorithm_ordering_in_the_large_e_regime(self):
+        """For E >> M the paper's ordering must hold:
+        cache-aware < Hu-Tao-Chung < BNLJ, and cache-aware < Dementiev."""
+        edges = 100_000
+        ours = cache_aware_io(edges, self.params)
+        assert ours < hu_tao_chung_io(edges, self.params)
+        assert hu_tao_chung_io(edges, self.params) < bnlj_io(edges, self.params)
+        assert ours < dementiev_io(edges, self.params)
+
+    def test_cache_oblivious_matches_cache_aware(self):
+        assert cache_oblivious_io(5000, self.params) == cache_aware_io(5000, self.params)
+
+    def test_improvement_factor_formula(self):
+        edges = 64 * 256
+        assert improvement_factor(edges, 256) == pytest.approx(
+            min(math.sqrt(edges / 256), math.sqrt(256))
+        )
+
+    def test_lower_bound_monotone_in_t(self):
+        values = [lower_bound_io(t, self.params) for t in (0, 10, 1000, 10_000)]
+        assert values[0] == 0
+        assert values == sorted(values)
+
+    def test_lower_bound_for_clique(self):
+        assert enumeration_lower_bound_for_clique(30, self.params) == pytest.approx(
+            lower_bound_io(math.comb(30, 3), self.params)
+        )
+
+    def test_colour_count(self):
+        assert colour_count(100, 200) == 1
+        assert colour_count(256 * 16, 256) == 4
+        assert colour_count(0, 256) == 1
+
+    def test_high_degree_threshold(self):
+        assert high_degree_threshold(1024, 256) == pytest.approx(512.0)
+
+    def test_expected_colour_collisions_is_em(self):
+        assert expected_colour_collisions(1000, 256) == 256_000
+
+    def test_work_upper_bound(self):
+        assert work_upper_bound(100) == pytest.approx(1000.0)
+
+
+class TestVerification:
+    def test_fit_power_law_recovers_exponent(self):
+        xs = [2**k for k in range(5, 12)]
+        ys = [3.7 * x**1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=1e-9)
+        assert fit.scale == pytest.approx(3.7, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_fit_power_law_with_noise(self):
+        xs = [100, 200, 400, 800, 1600]
+        ys = [x**2 * (1.0 + 0.05 * ((i % 2) * 2 - 1)) for i, x in enumerate(xs)]
+        fit = fit_power_law(xs, ys)
+        assert 1.9 <= fit.exponent <= 2.1
+
+    def test_fit_power_law_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([3, 3], [1, 2])
+
+    def test_ratio_series_and_band(self):
+        ratios = ratio_series([10, 20, 40], [5, 8, 10])
+        assert ratios == [2.0, 2.5, 4.0]
+        assert bounded_ratio_band(ratios) == pytest.approx(2.0)
+
+    def test_ratio_series_handles_zero_prediction(self):
+        ratios = ratio_series([1.0], [0.0])
+        assert math.isinf(ratios[0])
+        assert math.isinf(bounded_ratio_band([]))
+
+    def test_ratio_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ratio_series([1, 2], [1])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([4, 4, 4]) == pytest.approx(4.0)

@@ -1,0 +1,124 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.files import read_edge_list, write_edge_list
+from repro.graph.generators import clique, erdos_renyi_gnm
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(erdos_renyi_gnm(30, 90, seed=1), path)
+    return path
+
+
+@pytest.fixture
+def clique_file(tmp_path):
+    path = tmp_path / "clique.txt"
+    write_edge_list(clique(8), path)
+    return path
+
+
+class TestEnumerate:
+    def test_basic_run(self, graph_file, capsys):
+        assert main(["enumerate", str(graph_file), "--memory", "64", "--block", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "triangles:" in output
+        assert "simulated I/Os:" in output
+
+    def test_counts_match_known_graph(self, clique_file, capsys):
+        main(["enumerate", str(clique_file)])
+        output = capsys.readouterr().out
+        assert "triangles: 56" in output
+
+    def test_print_triangles(self, clique_file, capsys):
+        main(["enumerate", str(clique_file), "--print-triangles", "--algorithm", "in_memory"])
+        output = capsys.readouterr().out
+        # 56 triangles printed as tab-separated lines
+        triangle_lines = [line for line in output.splitlines() if line.count("\t") == 2]
+        assert len(triangle_lines) == 56
+
+    def test_algorithm_choice_validated(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["enumerate", str(graph_file), "--algorithm", "nope"])
+
+
+class TestCompare:
+    def test_compare_prints_one_row_per_algorithm(self, graph_file, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    str(graph_file),
+                    "--algorithms",
+                    "cache_aware",
+                    "hu_tao_chung",
+                    "--memory",
+                    "64",
+                    "--block",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "cache_aware" in output
+        assert "hu_tao_chung" in output
+        # Both algorithms must agree on the triangle count.
+        counts = {
+            line.split()[1]
+            for line in output.splitlines()
+            if line.startswith(("cache_aware", "hu_tao_chung"))
+        }
+        assert len(counts) == 1
+
+
+class TestStats:
+    def test_stats_output(self, clique_file, capsys):
+        assert main(["stats", str(clique_file), "--top", "3", "--memory", "64", "--block", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "transitivity: 1.0000" in output
+        assert "average clustering coefficient: 1.0000" in output
+        assert "triangles: 56" in output
+
+
+class TestGenerate:
+    @pytest.mark.parametrize(
+        "arguments,expected_edges",
+        [
+            (["generate", "clique", "--size", "10"], 45),
+            (["generate", "tripartite", "--size", "4"], 48),
+            (["generate", "random", "--vertices", "50", "--edges", "120"], 120),
+        ],
+    )
+    def test_generate_kinds(self, tmp_path, capsys, arguments, expected_edges):
+        output_path = tmp_path / "out.txt"
+        assert main(arguments + ["--output", str(output_path)]) == 0
+        graph = read_edge_list(output_path)
+        assert graph.num_edges == expected_edges
+
+    def test_generate_planted_then_enumerate_round_trip(self, tmp_path, capsys):
+        output_path = tmp_path / "planted.txt"
+        main(["generate", "planted", "--triangles", "9", "--edges", "40", "--output", str(output_path)])
+        capsys.readouterr()
+        main(["enumerate", str(output_path), "--memory", "64", "--block", "8"])
+        output = capsys.readouterr().out
+        assert "triangles: 9" in output
+
+
+class TestExperimentsPassthrough:
+    def test_experiments_subcommand(self, capsys, tmp_path):
+        output_file = tmp_path / "exp.txt"
+        assert main(["experiments", "--quick", "--output", str(output_file), "EXP4"]) == 0
+        assert "EXP4" in capsys.readouterr().out
+        assert output_file.exists()
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out

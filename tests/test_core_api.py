@@ -1,0 +1,117 @@
+"""Tests for the public API (repro.core.api)."""
+
+import math
+
+import pytest
+
+import repro
+from repro.analysis.model import MachineParams
+from repro.core.api import ALGORITHMS, count_triangles, enumerate_triangles, list_algorithms
+from repro.core.emit import CollectingSink
+from repro.exceptions import AlgorithmError
+from repro.graph.generators import clique, erdos_renyi_gnm, sells_instance
+from repro.graph.graph import Graph
+
+SMALL_PARAMS = MachineParams(memory_words=64, block_words=8)
+
+
+class TestDispatch:
+    def test_list_algorithms_matches_registry(self):
+        assert set(list_algorithms()) == set(ALGORITHMS)
+        assert "cache_aware" in list_algorithms()
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(AlgorithmError):
+            enumerate_triangles(clique(4), algorithm="quantum")
+
+    def test_top_level_reexports(self):
+        assert repro.enumerate_triangles is enumerate_triangles
+        assert repro.count_triangles is count_triangles
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_every_algorithm_agrees_with_oracle(self, algorithm):
+        graph = erdos_renyi_gnm(40, 150, seed=3)
+        expected = count_triangles(graph, algorithm="in_memory")
+        result = enumerate_triangles(graph, algorithm=algorithm, params=SMALL_PARAMS, seed=1)
+        assert result.triangle_count == expected
+        assert result.triangles is not None
+        assert len(result.triangles) == expected
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_clique_counts(self, algorithm):
+        result = enumerate_triangles(clique(9), algorithm=algorithm, params=SMALL_PARAMS)
+        assert result.triangle_count == math.comb(9, 3)
+
+
+class TestInputsAndOutputs:
+    def test_accepts_raw_edge_iterables(self):
+        result = enumerate_triangles([(1, 2), (2, 3), (1, 3)], params=SMALL_PARAMS)
+        assert result.triangle_count == 1
+        assert set(result.triangles[0]) == {1, 2, 3}
+
+    def test_accepts_string_labels(self):
+        graph = Graph(edges=[("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        result = enumerate_triangles(graph, params=SMALL_PARAMS)
+        assert result.triangle_count == 1
+        assert set(result.triangles[0]) == {"a", "b", "c"}
+
+    def test_triangles_reported_in_original_labels(self):
+        instance = sells_instance(3, 3, 3, pair_probability=0.8, seed=0)
+        result = enumerate_triangles(instance.graph, algorithm="hu_tao_chung", params=SMALL_PARAMS)
+        for triangle in result.triangles:
+            labels = {str(v)[0] for v in triangle}
+            assert labels == {"s", "b", "t"}
+
+    def test_collect_false_omits_triangles(self):
+        result = enumerate_triangles(clique(8), params=SMALL_PARAMS, collect=False)
+        assert result.triangles is None
+        assert result.triangle_count == math.comb(8, 3)
+
+    def test_custom_sink_receives_translated_labels(self):
+        sink = CollectingSink()
+        graph = Graph(edges=[(10, 20), (20, 30), (10, 30)])
+        result = enumerate_triangles(graph, params=SMALL_PARAMS, sink=sink)
+        assert sink.as_set() == {(10, 20, 30)}
+        assert result.triangle_count == 1
+
+    def test_count_triangles_wrapper(self):
+        assert count_triangles(clique(10), algorithm="dementiev", params=SMALL_PARAMS) == math.comb(10, 3)
+
+    def test_result_metadata(self):
+        graph = erdos_renyi_gnm(30, 90, seed=2)
+        result = enumerate_triangles(graph, algorithm="cache_aware", params=SMALL_PARAMS, seed=4)
+        assert result.algorithm == "cache_aware"
+        assert result.params == SMALL_PARAMS
+        assert result.num_vertices == 30
+        assert result.num_edges == 90
+        assert result.io.total == result.total_ios
+        assert result.wall_time_seconds >= 0
+        assert result.report is not None
+
+    def test_in_memory_algorithm_charges_no_io(self):
+        result = enumerate_triangles(clique(8), algorithm="in_memory")
+        assert result.io.total == 0
+
+    def test_external_algorithms_charge_io(self):
+        result = enumerate_triangles(clique(12), algorithm="cache_aware", params=SMALL_PARAMS)
+        assert result.io.total > 0
+        assert result.disk_peak_words > 0
+
+    def test_algorithm_options_forwarded(self):
+        result = enumerate_triangles(
+            clique(10), algorithm="cache_aware", params=SMALL_PARAMS, num_colors=2
+        )
+        assert result.report.num_colors == 2
+        oblivious = enumerate_triangles(
+            clique(10), algorithm="cache_oblivious", params=SMALL_PARAMS, max_depth=1
+        )
+        assert oblivious.report.max_depth == 1
+
+    def test_default_params_used_when_omitted(self):
+        result = enumerate_triangles(clique(6))
+        assert result.params == MachineParams.default()
+
+    def test_empty_graph(self):
+        result = enumerate_triangles(Graph(), params=SMALL_PARAMS)
+        assert result.triangle_count == 0
+        assert result.triangles == []

@@ -1,0 +1,128 @@
+"""Tests for the baseline algorithms (repro.core.baselines)."""
+
+import math
+
+import pytest
+
+from repro.analysis.model import MachineParams
+from repro.core.baselines.bnlj import block_nested_loop_join
+from repro.core.baselines.dementiev import dementiev_sort_based
+from repro.core.baselines.hu_tao_chung import hu_tao_chung
+from repro.core.baselines.in_memory import (
+    count_triangles_in_memory,
+    triangle_set,
+    triangles_in_memory,
+)
+from repro.core.emit import CollectingSink, DedupCheckingSink
+from repro.extmem.machine import Machine
+from repro.extmem.stats import IOStats
+from repro.graph.generators import clique, complete_bipartite, erdos_renyi_gnm, path_graph
+
+
+def make_machine(memory=128, block=8):
+    return Machine(MachineParams(memory, block), IOStats())
+
+
+EXTERNAL_BASELINES = [hu_tao_chung, block_nested_loop_join, dementiev_sort_based]
+
+
+class TestInMemoryOracle:
+    def test_triangle_of_a_triangle(self):
+        assert triangles_in_memory([(0, 1), (0, 2), (1, 2)]) == [(0, 1, 2)]
+
+    def test_counts_on_known_graphs(self):
+        assert count_triangles_in_memory(clique(7).degree_order().edges) == math.comb(7, 3)
+        assert count_triangles_in_memory(path_graph(20).degree_order().edges) == 0
+        assert count_triangles_in_memory(complete_bipartite(4, 5).degree_order().edges) == 0
+
+    def test_each_triangle_reported_once(self):
+        edges = clique(10).degree_order().edges
+        triangles = triangles_in_memory(edges)
+        assert len(triangles) == len(set(triangles)) == math.comb(10, 3)
+
+    def test_forwards_to_sink(self):
+        sink = CollectingSink()
+        triangles_in_memory([(0, 1), (0, 2), (1, 2)], sink)
+        assert sink.as_set() == {(0, 1, 2)}
+
+    def test_unoriented_edges_accepted(self):
+        assert triangle_set([(1, 0), (2, 0), (2, 1)]) == {(0, 1, 2)}
+
+
+class TestExternalBaselines:
+    @pytest.mark.parametrize("baseline", EXTERNAL_BASELINES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_oracle_on_random_graphs(self, baseline, seed):
+        edges = erdos_renyi_gnm(50, 200, seed=seed).degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingSink()
+        report = baseline(machine, edge_file, sink)
+        assert sink.as_set() == set(triangles_in_memory(edges))
+        assert report.triangles_emitted == sink.count
+        assert report.num_edges == len(edges)
+
+    @pytest.mark.parametrize("baseline", EXTERNAL_BASELINES)
+    def test_matches_oracle_on_clique(self, baseline):
+        edges = clique(13).degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingSink()
+        baseline(machine, edge_file, sink)
+        assert sink.count == math.comb(13, 3)
+
+    @pytest.mark.parametrize("baseline", EXTERNAL_BASELINES)
+    def test_empty_input(self, baseline):
+        machine = make_machine()
+        report = baseline(machine, machine.empty_file(), DedupCheckingSink())
+        assert report.triangles_emitted == 0
+
+    @pytest.mark.parametrize("baseline", EXTERNAL_BASELINES)
+    def test_triangle_free_graph(self, baseline):
+        edges = complete_bipartite(8, 8).degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        report = baseline(machine, edge_file, DedupCheckingSink())
+        assert report.triangles_emitted == 0
+
+    @pytest.mark.parametrize("baseline", EXTERNAL_BASELINES)
+    def test_input_file_preserved(self, baseline):
+        edges = clique(9).degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        baseline(machine, edge_file, DedupCheckingSink())
+        assert machine.load(edge_file, 0, len(edges)) == edges
+
+
+class TestBaselineIOSeparation:
+    def test_hu_tao_chung_beats_bnlj(self):
+        """The paper's ordering of the baselines: E^2/(MB) << E^3/(M^2 B)."""
+        edges = erdos_renyi_gnm(120, 2000, seed=4).degree_order().edges
+        ios = {}
+        for baseline in (hu_tao_chung, block_nested_loop_join):
+            machine = make_machine(memory=64, block=8)
+            edge_file = machine.file_from_records(edges)
+            baseline(machine, edge_file, DedupCheckingSink())
+            ios[baseline.__name__] = machine.stats.total
+        assert ios["hu_tao_chung"] * 3 < ios["block_nested_loop_join"]
+
+    def test_hu_tao_chung_io_scales_inversely_with_memory(self):
+        edges = erdos_renyi_gnm(150, 3000, seed=5).degree_order().edges
+        totals = {}
+        for memory in (64, 256):
+            machine = Machine(MachineParams(memory, 8), IOStats())
+            edge_file = machine.file_from_records(edges)
+            hu_tao_chung(machine, edge_file, DedupCheckingSink())
+            totals[memory] = machine.stats.total
+        assert totals[64] >= 2.5 * totals[256]
+
+    def test_dementiev_io_insensitive_to_memory(self):
+        """Dementiev's bound only depends on M through a log factor."""
+        edges = erdos_renyi_gnm(150, 3000, seed=6).degree_order().edges
+        totals = {}
+        for memory in (64, 512):
+            machine = Machine(MachineParams(memory, 8), IOStats())
+            edge_file = machine.file_from_records(edges)
+            dementiev_sort_based(machine, edge_file, DedupCheckingSink())
+            totals[memory] = machine.stats.total
+        assert totals[64] <= 3 * totals[512]

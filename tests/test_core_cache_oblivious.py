@@ -1,0 +1,175 @@
+"""Tests for the cache-oblivious algorithm (repro.core.cache_oblivious)."""
+
+import math
+
+import pytest
+
+from repro.analysis.model import MachineParams
+from repro.core.baselines.in_memory import triangles_in_memory
+from repro.core.cache_oblivious import cache_oblivious_randomized
+from repro.core.emit import DedupCheckingSink
+from repro.extmem.oblivious import ObliviousVM
+from repro.extmem.stats import IOStats
+from repro.graph.generators import (
+    barabasi_albert,
+    clique,
+    complete_tripartite,
+    erdos_renyi_gnm,
+    planted_triangles,
+)
+from repro.graph.io import edges_to_vector
+
+
+def run(edges, memory=64, block=8, seed=0, **kwargs):
+    vm = ObliviousVM(MachineParams(memory, block), IOStats())
+    vector = edges_to_vector(vm, edges)
+    sink = DedupCheckingSink()
+    report = cache_oblivious_randomized(vm, vector, sink, seed=seed, **kwargs)
+    return vm, sink, report
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_oracle_on_random_graphs(self, seed):
+        edges = erdos_renyi_gnm(40, 150, seed=seed).degree_order().edges
+        _, sink, report = run(edges, seed=seed)
+        assert sink.as_set() == set(triangles_in_memory(edges))
+        assert report.triangles_emitted == sink.count
+
+    def test_matches_oracle_on_clique(self):
+        edges = clique(12).degree_order().edges
+        _, sink, _ = run(edges, seed=1)
+        assert sink.count == math.comb(12, 3)
+
+    def test_matches_oracle_on_tripartite(self):
+        edges = complete_tripartite(4, 4, 4).degree_order().edges
+        _, sink, _ = run(edges, seed=2)
+        assert sink.count == 64
+
+    def test_matches_oracle_on_skewed_graph(self):
+        edges = barabasi_albert(80, 3, seed=1).degree_order().edges
+        _, sink, report = run(edges, seed=3)
+        assert sink.as_set() == set(triangles_in_memory(edges))
+        # Skewed graphs should exercise the local high-degree removal.
+        assert report.local_high_degree_processed > 0
+
+    def test_triangle_free_graph(self):
+        edges = planted_triangles(0, filler_bipartite_edges=60, seed=0).degree_order().edges
+        _, sink, report = run(edges, seed=0)
+        assert report.triangles_emitted == 0
+
+    def test_planted_triangles_exact_count(self):
+        edges = planted_triangles(9, filler_bipartite_edges=40, seed=2).degree_order().edges
+        _, sink, _ = run(edges, seed=5)
+        assert sink.count == 9
+
+    def test_empty_graph(self):
+        _, sink, report = run([], seed=0)
+        assert report.triangles_emitted == 0
+        assert report.num_edges == 0
+
+    def test_small_graph_below_base_case(self):
+        edges = [(0, 1), (0, 2), (1, 2)]
+        _, sink, _ = run(edges, seed=0)
+        assert sink.as_set() == {(0, 1, 2)}
+
+    def test_different_seeds_same_triangles(self):
+        edges = erdos_renyi_gnm(35, 130, seed=7).degree_order().edges
+        expected = set(triangles_in_memory(edges))
+        for seed in range(4):
+            _, sink, _ = run(edges, seed=seed)
+            assert sink.as_set() == expected
+
+    def test_input_vector_unchanged(self):
+        edges = clique(8).degree_order().edges
+        vm = ObliviousVM(MachineParams(64, 8), IOStats())
+        vector = edges_to_vector(vm, edges)
+        cache_oblivious_randomized(vm, vector, DedupCheckingSink(), seed=0)
+        assert vector.to_list() == edges
+
+    def test_forced_shallow_depth_still_correct(self):
+        """Stopping the recursion early just makes the base case do more work;
+        correctness must not depend on the depth limit."""
+        edges = erdos_renyi_gnm(30, 120, seed=3).degree_order().edges
+        _, sink, report = run(edges, seed=1, max_depth=1)
+        assert sink.as_set() == set(triangles_in_memory(edges))
+        assert report.max_depth == 1
+
+    def test_depth_zero_is_pure_base_case(self):
+        edges = clique(9).degree_order().edges
+        _, sink, report = run(edges, seed=1, max_depth=0)
+        assert sink.count == math.comb(9, 3)
+        assert report.base_case_invocations == 1
+
+
+class TestRecursionBehaviour:
+    def test_subproblem_sizes_decay_geometrically(self):
+        """Lemma 4: expected subproblem size at level i is E / 4^i."""
+        edges = erdos_renyi_gnm(200, 1200, seed=0).degree_order().edges
+        _, _, report = run(edges, memory=128, block=8, seed=4)
+        level_zero = report.subproblems_at(0)
+        assert level_zero == [len(edges)]
+        level_one = report.subproblems_at(1)
+        assert level_one, "the recursion should have produced children"
+        mean_child = sum(level_one) / len(level_one)
+        # At the first level the parent colours coincide, so an edge is
+        # compatible with a child with probability 1/2; the expected child
+        # size is therefore about E/2 and must certainly not exceed it by
+        # much.  Deeper levels then decay towards the 1/4 rate of Lemma 4.
+        assert mean_child <= 0.65 * len(edges)
+        level_two = report.subproblems_at(2)
+        if level_two:
+            assert sum(level_two) / len(level_two) <= 0.6 * mean_child
+
+    def test_report_counts_subproblems(self):
+        edges = erdos_renyi_gnm(60, 240, seed=2).degree_order().edges
+        _, _, report = run(edges, seed=0)
+        total_subproblems = sum(len(sizes) for sizes in report.subproblem_sizes.values())
+        assert total_subproblems >= 9  # root plus at least one full level
+
+    def test_size_recorder_callback(self):
+        edges = clique(10).degree_order().edges
+        recorded = []
+        vm = ObliviousVM(MachineParams(64, 8), IOStats())
+        vector = edges_to_vector(vm, edges)
+        cache_oblivious_randomized(
+            vm, vector, DedupCheckingSink(), seed=0, size_recorder=lambda d, s: recorded.append((d, s))
+        )
+        assert recorded[0] == (0, len(edges))
+
+
+class TestObliviousness:
+    def test_more_memory_means_fewer_ios_same_answer(self):
+        """The algorithm never sees M; only the cache simulator changes."""
+        edges = erdos_renyi_gnm(60, 300, seed=5).degree_order().edges
+        expected = set(triangles_in_memory(edges))
+        totals = {}
+        for memory in (32, 128, 512):
+            vm = ObliviousVM(MachineParams(memory, 8), IOStats())
+            vector = edges_to_vector(vm, edges)
+            sink = DedupCheckingSink()
+            cache_oblivious_randomized(vm, vector, sink, seed=9)
+            assert sink.as_set() == expected
+            totals[memory] = vm.stats.total
+        assert totals[128] < totals[32]
+        assert totals[512] <= totals[128]
+
+    def test_io_sequence_independent_of_cache_parameters(self):
+        """Cache-obliviousness, operationally: the *operation count* (element
+        accesses) must be identical whatever (M, B) the simulator uses."""
+        edges = erdos_renyi_gnm(40, 160, seed=6).degree_order().edges
+        operations = []
+        for memory, block in ((32, 4), (256, 16), (1024, 32)):
+            vm = ObliviousVM(MachineParams(memory, block), IOStats())
+            vector = edges_to_vector(vm, edges)
+            cache_oblivious_randomized(vm, vector, DedupCheckingSink(), seed=11)
+            operations.append(vm.stats.operations)
+        assert operations[0] == operations[1] == operations[2]
+
+    def test_disk_space_stays_linear_in_e(self):
+        """Theorem 1 claims O(E) words on disk (expected)."""
+        edges = erdos_renyi_gnm(150, 900, seed=1).degree_order().edges
+        vm = ObliviousVM(MachineParams(128, 8), IOStats())
+        vector = edges_to_vector(vm, edges)
+        cache_oblivious_randomized(vm, vector, DedupCheckingSink(), seed=2)
+        assert vm.peak_words <= 20 * len(edges)

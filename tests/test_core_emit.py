@@ -1,0 +1,101 @@
+"""Tests for the emission protocol (repro.core.emit) and ordering helpers."""
+
+import pytest
+
+from repro.core.emit import (
+    CallbackSink,
+    CollectingSink,
+    CountingSink,
+    DedupCheckingSink,
+    FilteringSink,
+    sorted_triangle,
+    triangles_as_set,
+)
+from repro.core.ordering import (
+    cone_vertex,
+    degrees_from_edges,
+    forward_adjacency,
+    pivot_edge,
+)
+from repro.exceptions import AlgorithmError
+
+
+class TestSortedTriangle:
+    @pytest.mark.parametrize(
+        "triple", [(1, 2, 3), (3, 2, 1), (2, 3, 1), (3, 1, 2), (1, 3, 2), (2, 1, 3)]
+    )
+    def test_all_permutations_normalise(self, triple):
+        assert sorted_triangle(*triple) == (1, 2, 3)
+
+    @pytest.mark.parametrize("triple", [(1, 1, 2), (1, 2, 2), (3, 3, 3)])
+    def test_degenerate_triples_rejected(self, triple):
+        with pytest.raises(AlgorithmError):
+            sorted_triangle(*triple)
+
+
+class TestSinks:
+    def test_counting_sink(self):
+        sink = CountingSink()
+        sink.emit(1, 2, 3)
+        sink.emit(4, 5, 6)
+        assert sink.count == 2
+
+    def test_collecting_sink_normalises(self):
+        sink = CollectingSink()
+        sink.emit(3, 1, 2)
+        assert sink.triangles == [(1, 2, 3)]
+        assert sink.as_set() == {(1, 2, 3)}
+        assert sink.count == 1
+
+    def test_dedup_sink_accepts_distinct_triangles(self):
+        sink = DedupCheckingSink()
+        sink.emit(1, 2, 3)
+        sink.emit(1, 2, 4)
+        assert sink.count == 2
+        assert sink.as_set() == {(1, 2, 3), (1, 2, 4)}
+
+    def test_dedup_sink_rejects_duplicates_in_any_order(self):
+        sink = DedupCheckingSink()
+        sink.emit(1, 2, 3)
+        with pytest.raises(AlgorithmError):
+            sink.emit(3, 2, 1)
+
+    def test_dedup_sink_forwards_to_inner(self):
+        inner = CollectingSink()
+        sink = DedupCheckingSink(inner)
+        sink.emit(2, 1, 3)
+        assert inner.triangles == [(1, 2, 3)]
+
+    def test_callback_sink(self):
+        received = []
+        sink = CallbackSink(lambda a, b, c: received.append((a, b, c)))
+        sink.emit(1, 2, 3)
+        assert received == [(1, 2, 3)]
+        assert sink.count == 1
+
+    def test_filtering_sink(self):
+        inner = CollectingSink()
+        sink = FilteringSink(inner, predicate=lambda t: t[0] == 0)
+        sink.emit(0, 1, 2)
+        sink.emit(1, 2, 3)
+        assert inner.as_set() == {(0, 1, 2)}
+
+    def test_triangles_as_set(self):
+        assert triangles_as_set([(3, 2, 1), (1, 2, 3), (4, 5, 6)]) == {(1, 2, 3), (4, 5, 6)}
+
+
+class TestOrderingHelpers:
+    def test_cone_and_pivot(self):
+        assert cone_vertex((5, 2, 9)) == 2
+        assert pivot_edge((5, 2, 9)) == (5, 9)
+
+    def test_degrees_from_edges(self):
+        degrees = degrees_from_edges([(0, 1), (0, 2), (1, 2), (2, 3)])
+        assert degrees[0] == 2
+        assert degrees[2] == 3
+        assert degrees[3] == 1
+
+    def test_forward_adjacency_sorted(self):
+        adjacency = forward_adjacency([(0, 5), (0, 2), (1, 3)])
+        assert adjacency[0] == [2, 5]
+        assert adjacency[1] == [3]

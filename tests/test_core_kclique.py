@@ -1,0 +1,199 @@
+"""Tests for the k-clique extension (repro.core.kclique)."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.model import MachineParams
+from repro.core.baselines.in_memory import triangles_in_memory
+from repro.core.kclique import (
+    CollectingCliqueSink,
+    CountingCliqueSink,
+    DedupCheckingCliqueSink,
+    cache_aware_kclique,
+    cliques_in_memory,
+    count_cliques_in_memory,
+)
+from repro.exceptions import AlgorithmError
+from repro.extmem.machine import Machine
+from repro.extmem.stats import IOStats
+from repro.graph.generators import (
+    barabasi_albert,
+    clique,
+    complete_bipartite,
+    complete_tripartite,
+    erdos_renyi_gnm,
+)
+from repro.graph.graph import Graph
+from repro.graph.validation import normalize_edges
+
+
+def make_machine(memory=128, block=8):
+    return Machine(MachineParams(memory, block), IOStats())
+
+
+class TestInMemoryOracle:
+    def test_cliques_of_complete_graph(self):
+        edges = clique(8).degree_order().edges
+        for k in range(1, 9):
+            assert count_cliques_in_memory(edges, k) == math.comb(8, k)
+
+    def test_k3_matches_triangle_oracle(self):
+        edges = erdos_renyi_gnm(40, 160, seed=1).degree_order().edges
+        assert set(cliques_in_memory(edges, 3)) == set(triangles_in_memory(edges))
+
+    def test_bipartite_has_no_cliques_beyond_edges(self):
+        edges = complete_bipartite(5, 6).degree_order().edges
+        assert count_cliques_in_memory(edges, 3) == 0
+        assert count_cliques_in_memory(edges, 4) == 0
+        assert count_cliques_in_memory(edges, 2) == 30
+
+    def test_tripartite_has_triangles_but_no_4_cliques(self):
+        edges = complete_tripartite(3, 3, 3).degree_order().edges
+        assert count_cliques_in_memory(edges, 3) == 27
+        assert count_cliques_in_memory(edges, 4) == 0
+
+    def test_singletons_and_edges(self):
+        edges = [(0, 1), (1, 2)]
+        assert count_cliques_in_memory(edges, 1) == 3
+        assert count_cliques_in_memory(edges, 2) == 2
+
+    def test_each_clique_reported_once_and_sorted(self):
+        edges = clique(7).degree_order().edges
+        cliques = cliques_in_memory(edges, 4)
+        assert len(cliques) == len(set(cliques)) == math.comb(7, 4)
+        assert all(list(c) == sorted(c) for c in cliques)
+
+    def test_invalid_k(self):
+        with pytest.raises(AlgorithmError):
+            cliques_in_memory([(0, 1)], 0)
+
+    def test_sink_receives_cliques(self):
+        sink = CollectingCliqueSink()
+        cliques_in_memory(clique(5).degree_order().edges, 4, sink=sink)
+        assert sink.count == 5
+        assert all(len(c) == 4 for c in sink.as_set())
+
+
+class TestSinks:
+    def test_counting_sink(self):
+        sink = CountingCliqueSink()
+        sink.emit(1, 2, 3, 4)
+        assert sink.count == 1
+
+    def test_dedup_sink_rejects_duplicates(self):
+        sink = DedupCheckingCliqueSink()
+        sink.emit(1, 2, 3, 4)
+        with pytest.raises(AlgorithmError):
+            sink.emit(4, 3, 2, 1)
+
+    def test_dedup_sink_rejects_degenerate(self):
+        sink = DedupCheckingCliqueSink()
+        with pytest.raises(AlgorithmError):
+            sink.emit(1, 1, 2)
+
+
+class TestExternalAlgorithm:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_matches_oracle_on_random_graph(self, k):
+        edges = erdos_renyi_gnm(40, 220, seed=k).degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingCliqueSink()
+        report = cache_aware_kclique(machine, edge_file, k, sink, seed=7)
+        assert sink.as_set() == set(cliques_in_memory(edges, k))
+        assert report.cliques_emitted == sink.count
+        assert report.clique_size == k
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_matches_oracle_on_clique(self, k):
+        edges = clique(10).degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingCliqueSink()
+        cache_aware_kclique(machine, edge_file, k, sink, seed=1)
+        assert sink.count == math.comb(10, k)
+
+    def test_matches_oracle_on_skewed_graph(self):
+        edges = barabasi_albert(100, 4, seed=3).degree_order().edges
+        machine = make_machine(memory=64)
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingCliqueSink()
+        cache_aware_kclique(machine, edge_file, 4, sink, seed=2)
+        assert sink.as_set() == set(cliques_in_memory(edges, 4))
+
+    def test_k3_agrees_with_triangle_algorithms(self):
+        edges = erdos_renyi_gnm(60, 260, seed=9).degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingCliqueSink()
+        cache_aware_kclique(machine, edge_file, 3, sink, seed=0)
+        assert sink.as_set() == set(triangles_in_memory(edges))
+
+    def test_no_4_cliques_in_tripartite(self):
+        edges = complete_tripartite(5, 5, 5).degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingCliqueSink()
+        report = cache_aware_kclique(machine, edge_file, 4, sink, seed=0)
+        assert report.cliques_emitted == 0
+
+    def test_too_small_k_rejected(self):
+        machine = make_machine()
+        edge_file = machine.file_from_records([(0, 1)])
+        with pytest.raises(AlgorithmError):
+            cache_aware_kclique(machine, edge_file, 2, CountingCliqueSink())
+
+    def test_tiny_input_short_circuits(self):
+        machine = make_machine()
+        edge_file = machine.file_from_records([(0, 1), (1, 2)])
+        report = cache_aware_kclique(machine, edge_file, 4, CountingCliqueSink())
+        assert report.cliques_emitted == 0
+
+    def test_oversized_subproblems_are_refined_not_overloaded(self):
+        """With a tiny memory every colour class exceeds the budget, forcing
+        the refinement path; the answer must still be exact and memory never
+        over-subscribed (the machine would raise otherwise)."""
+        edges = erdos_renyi_gnm(60, 300, seed=4).degree_order().edges
+        machine = make_machine(memory=32, block=8)
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingCliqueSink()
+        report = cache_aware_kclique(machine, edge_file, 3, sink, seed=5)
+        assert sink.as_set() == set(triangles_in_memory(edges))
+        assert report.subproblems_refined > 0
+
+    def test_io_scales_better_than_naive_for_k4(self):
+        """For k = 4 the bound is E^2/(M B); doubling E should grow the I/Os
+        by far less than the E^4 factor (16x) of a naive 4-way join."""
+        params = MachineParams(128, 16)
+        totals = []
+        for num_edges in (512, 1024):
+            graph = erdos_renyi_gnm(num_edges // 3, num_edges, seed=11)
+            machine = Machine(params, IOStats())
+            edge_file = machine.file_from_records(graph.degree_order().edges)
+            cache_aware_kclique(machine, edge_file, 4, CountingCliqueSink(), seed=1)
+            totals.append(machine.stats.total)
+        growth = totals[1] / totals[0]
+        assert growth < 8
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    raw_edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda e: e[0] != e[1]),
+        max_size=60,
+    ),
+    k=st.integers(min_value=3, max_value=5),
+    seed=st.integers(0, 1000),
+)
+def test_property_external_kclique_matches_oracle(raw_edges, k, seed):
+    """Property: the external algorithm agrees with the in-memory oracle for
+    any small graph, any clique size and any seed."""
+    edges = Graph(edges=normalize_edges(raw_edges)).degree_order().edges
+    machine = Machine(MachineParams(64, 8), IOStats())
+    edge_file = machine.file_from_records(edges)
+    sink = DedupCheckingCliqueSink()
+    cache_aware_kclique(machine, edge_file, k, sink, seed=seed)
+    assert sink.as_set() == set(cliques_in_memory(edges, k))

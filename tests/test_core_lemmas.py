@@ -1,0 +1,193 @@
+"""Tests for the paper's subroutines: Lemma 1 and Lemma 2."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import sort_io
+from repro.analysis.model import MachineParams
+from repro.core.baselines.in_memory import triangles_in_memory
+from repro.core.emit import DedupCheckingSink
+from repro.core.lemma1 import triangles_through_vertex
+from repro.core.lemma2 import triangles_with_pivot_in
+from repro.extmem.machine import Machine
+from repro.extmem.stats import IOStats
+from repro.graph.generators import clique, erdos_renyi_gnm
+from repro.graph.graph import Graph
+
+
+def make_machine(memory=64, block=8):
+    return Machine(MachineParams(memory, block), IOStats())
+
+
+def oracle_through_vertex(edges, vertex):
+    return {t for t in triangles_in_memory(edges) if vertex in t}
+
+
+def oracle_with_pivot_in(edges, pivot_edges):
+    pivots = set(pivot_edges)
+    return {t for t in triangles_in_memory(edges) if (t[1], t[2]) in pivots}
+
+
+class TestLemma1:
+    def test_enumerates_triangles_through_vertex(self):
+        graph = erdos_renyi_gnm(40, 150, seed=2)
+        edges = graph.degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        for vertex in (0, 10, 25, 39):
+            sink = DedupCheckingSink()
+            triangles_through_vertex(machine, [edge_file], vertex, sink)
+            assert sink.as_set() == oracle_through_vertex(edges, vertex)
+
+    def test_vertex_with_no_triangles(self):
+        edges = [(0, 1), (1, 2), (2, 3)]  # a path
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingSink()
+        count = triangles_through_vertex(machine, [edge_file], 1, sink)
+        assert count == 0
+        assert sink.count == 0
+
+    def test_excluded_vertices_suppress_their_triangles(self):
+        # two triangles sharing the edge (3, 4): {2,3,4} and {1,3,4}
+        edges = [(1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingSink()
+        triangles_through_vertex(machine, [edge_file], 3, sink, excluded=frozenset({2}))
+        assert sink.as_set() == {(1, 3, 4)}
+
+    def test_excluded_target_vertex_returns_nothing(self):
+        edges = [(0, 1), (0, 2), (1, 2)]
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingSink()
+        assert triangles_through_vertex(machine, [edge_file], 0, sink, excluded={0}) == 0
+
+    def test_triangle_filter_applied(self):
+        edges = clique(6).degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingSink()
+        triangles_through_vertex(
+            machine, [edge_file], 0, sink, triangle_filter=lambda t: t[2] == 5
+        )
+        assert all(t[2] == 5 and t[0] == 0 for t in sink.as_set())
+
+    def test_multiple_sources_equivalent_to_union(self):
+        edges = clique(8).degree_order().edges
+        machine = make_machine()
+        first = machine.file_from_records(edges[: len(edges) // 2])
+        second = machine.file_from_records(edges[len(edges) // 2 :])
+        sink = DedupCheckingSink()
+        triangles_through_vertex(machine, [first, second], 2, sink)
+        assert sink.as_set() == oracle_through_vertex(edges, 2)
+
+    def test_io_cost_within_constant_of_sort(self):
+        """Lemma 1 promises O(sort(E)) I/Os."""
+        graph = erdos_renyi_gnm(120, 2000, seed=5)
+        edges = graph.degree_order().edges
+        params = MachineParams(128, 16)
+        machine = Machine(params, IOStats())
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingSink()
+        triangles_through_vertex(machine, [edge_file], 60, sink)
+        assert machine.stats.total <= 20 * sort_io(len(edges), params)
+
+    def test_temporary_files_cleaned_up(self):
+        edges = clique(10).degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        live_before = set(machine.disk.files)
+        triangles_through_vertex(machine, [edge_file], 3, DedupCheckingSink())
+        assert set(machine.disk.files) == live_before
+
+
+class TestLemma2:
+    def test_pivot_set_equal_to_edges_enumerates_everything(self):
+        graph = erdos_renyi_gnm(50, 220, seed=9)
+        edges = graph.degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingSink()
+        count = triangles_with_pivot_in(machine, edge_file, [edge_file], sink)
+        assert sink.as_set() == set(triangles_in_memory(edges))
+        assert count == len(sink.as_set())
+
+    def test_restricted_pivot_set(self):
+        edges = clique(9).degree_order().edges
+        pivot_edges = edges[::3]
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        pivot_file = machine.file_from_records(pivot_edges)
+        sink = DedupCheckingSink()
+        triangles_with_pivot_in(machine, pivot_file, [edge_file], sink)
+        assert sink.as_set() == oracle_with_pivot_in(edges, pivot_edges)
+
+    def test_empty_pivot_set(self):
+        edges = clique(5).degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        empty = machine.empty_file()
+        assert triangles_with_pivot_in(machine, empty, [edge_file], DedupCheckingSink()) == 0
+
+    def test_cone_filter_restricts_cone_vertices(self):
+        edges = clique(8).degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingSink()
+        triangles_with_pivot_in(
+            machine, edge_file, [edge_file], sink, cone_filter=lambda v: v < 2
+        )
+        expected = {t for t in triangles_in_memory(edges) if t[0] < 2}
+        assert sink.as_set() == expected
+
+    def test_triangle_filter(self):
+        edges = clique(7).degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        sink = DedupCheckingSink()
+        triangles_with_pivot_in(
+            machine, edge_file, [edge_file], sink, triangle_filter=lambda t: sum(t) % 2 == 0
+        )
+        expected = {t for t in triangles_in_memory(edges) if sum(t) % 2 == 0}
+        assert sink.as_set() == expected
+
+    def test_multiple_adjacency_sources(self):
+        """Splitting the (sorted) edge set into consecutive sorted slices must not
+        change the outcome -- this is how the colour-class iteration uses it."""
+        edges = clique(10).degree_order().edges
+        machine = make_machine()
+        edge_file = machine.file_from_records(edges)
+        third = len(edges) // 3
+        sources = [
+            edge_file.slice(0, third),
+            edge_file.slice(third, 2 * third),
+            edge_file.slice(2 * third, len(edges)),
+        ]
+        # NOTE: slices of a lexicographically sorted file are themselves sorted.
+        sink = DedupCheckingSink()
+        triangles_with_pivot_in(machine, edge_file, sources, sink)
+        assert sink.as_set() == set(triangles_in_memory(edges))
+
+    def test_invalid_memory_fraction_rejected(self):
+        machine = make_machine()
+        edge_file = machine.file_from_records([(0, 1)])
+        with pytest.raises(ValueError):
+            triangles_with_pivot_in(
+                machine, edge_file, [edge_file], DedupCheckingSink(), memory_fraction=0.9
+            )
+
+    def test_io_scales_with_pivot_batches(self):
+        """Halving memory should roughly double the I/Os (the E'E/(MB) term)."""
+        graph = erdos_renyi_gnm(150, 3000, seed=3)
+        edges = graph.degree_order().edges
+        totals = {}
+        for memory in (512, 256, 128):
+            machine = Machine(MachineParams(memory, 16), IOStats())
+            edge_file = machine.file_from_records(edges)
+            triangles_with_pivot_in(machine, edge_file, [edge_file], DedupCheckingSink())
+            totals[memory] = machine.stats.total
+        assert totals[256] >= 1.5 * totals[512]
+        assert totals[128] >= 1.5 * totals[256]

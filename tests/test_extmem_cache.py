@@ -1,0 +1,141 @@
+"""Unit tests for the LRU block cache simulator (repro.extmem.cache)."""
+
+import pytest
+
+from repro.exceptions import InvalidConfigurationError
+from repro.extmem.cache import LRUBlockCache
+from repro.extmem.stats import IOStats
+
+
+def make_cache(capacity=4):
+    stats = IOStats()
+    return LRUBlockCache(capacity, stats), stats
+
+
+class TestBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(InvalidConfigurationError):
+            LRUBlockCache(0, IOStats())
+
+    def test_first_access_is_a_miss_and_charges_a_read(self):
+        cache, stats = make_cache()
+        cache.access(0, 0)
+        assert stats.reads == 1
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    def test_repeated_access_is_a_hit(self):
+        cache, stats = make_cache()
+        cache.access(0, 0)
+        cache.access(0, 0)
+        assert stats.reads == 1
+        assert cache.hits == 1
+
+    def test_distinct_storages_do_not_collide(self):
+        cache, stats = make_cache()
+        cache.access(0, 5)
+        cache.access(1, 5)
+        assert stats.reads == 2
+
+    def test_hit_rate(self):
+        cache, _ = make_cache()
+        cache.access(0, 0)
+        cache.access(0, 0)
+        cache.access(0, 0)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        cache, _ = make_cache()
+        assert cache.hit_rate == 0.0
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        cache, stats = make_cache(capacity=2)
+        cache.access(0, 0)
+        cache.access(0, 1)
+        cache.access(0, 0)  # block 0 becomes most recently used
+        cache.access(0, 2)  # evicts block 1
+        cache.access(0, 0)  # still resident -> hit
+        assert cache.hits == 2
+        cache.access(0, 1)  # was evicted -> miss
+        assert stats.reads == 4
+
+    def test_clean_eviction_charges_no_write(self):
+        cache, stats = make_cache(capacity=1)
+        cache.access(0, 0)
+        cache.access(0, 1)
+        assert stats.writes == 0
+
+    def test_dirty_eviction_charges_a_write(self):
+        cache, stats = make_cache(capacity=1)
+        cache.access(0, 0, write=True)
+        cache.access(0, 1)
+        assert stats.writes == 1
+
+    def test_dirty_flag_sticks_until_eviction(self):
+        cache, stats = make_cache(capacity=1)
+        cache.access(0, 0, write=True)
+        cache.access(0, 0)  # read hit must not clear the dirty bit
+        cache.access(0, 1)
+        assert stats.writes == 1
+
+    def test_capacity_never_exceeded(self):
+        cache, _ = make_cache(capacity=3)
+        for block in range(10):
+            cache.access(0, block)
+            assert len(cache) <= 3
+
+
+class TestWriteNewAndDiscard:
+    def test_write_new_charges_no_read(self):
+        cache, stats = make_cache()
+        cache.write_new(0, 0)
+        assert stats.reads == 0
+        assert len(cache) == 1
+
+    def test_write_new_block_is_dirty(self):
+        cache, stats = make_cache(capacity=1)
+        cache.write_new(0, 0)
+        cache.access(0, 1)
+        assert stats.writes == 1
+
+    def test_write_new_eviction_of_dirty_block_charges_write(self):
+        cache, stats = make_cache(capacity=1)
+        cache.access(0, 0, write=True)
+        cache.write_new(0, 1)
+        assert stats.writes == 1
+
+    def test_discard_storage_drops_blocks_without_writeback(self):
+        cache, stats = make_cache(capacity=4)
+        cache.access(7, 0, write=True)
+        cache.access(7, 1, write=True)
+        cache.access(8, 0, write=True)
+        cache.discard_storage(7)
+        assert len(cache) == 1
+        cache.flush()
+        assert stats.writes == 1  # only storage 8's dirty block is written back
+
+    def test_flush_writes_back_dirty_blocks_and_empties(self):
+        cache, stats = make_cache(capacity=4)
+        cache.access(0, 0, write=True)
+        cache.access(0, 1)
+        cache.flush()
+        assert stats.writes == 1
+        assert len(cache) == 0
+
+
+class TestScanBehaviour:
+    def test_sequential_scan_costs_one_miss_per_block(self):
+        cache, stats = make_cache(capacity=4)
+        block_size = 8
+        for index in range(256):
+            cache.access(0, index // block_size)
+        assert stats.reads == 256 // block_size
+
+    def test_scan_larger_than_cache_then_rescan_misses_again(self):
+        cache, stats = make_cache(capacity=2)
+        for _ in range(2):
+            for block in range(10):
+                cache.access(0, block)
+        assert stats.reads == 20

@@ -1,0 +1,112 @@
+"""Unit tests for the simulated disk (repro.extmem.disk)."""
+
+import pytest
+
+from repro.exceptions import FileClosedError
+from repro.extmem.disk import Disk, FileSlice, iter_records
+
+
+class TestFiles:
+    def test_create_empty_file(self):
+        disk = Disk()
+        file = disk.file("data")
+        assert len(file) == 0
+        assert "data" in disk
+
+    def test_prepopulated_file_counts_space_but_no_io(self):
+        disk = Disk()
+        file = disk.file("edges", records=[(0, 1), (1, 2), (2, 3)])
+        assert len(file) == 3
+        assert disk.current_words == 3
+        assert disk.peak_words == 3
+
+    def test_duplicate_names_rejected(self):
+        disk = Disk()
+        disk.file("x")
+        with pytest.raises(ValueError):
+            disk.file("x")
+
+    def test_anonymous_files_get_unique_names(self):
+        disk = Disk()
+        a = disk.file()
+        b = disk.file()
+        assert a.name != b.name
+
+    def test_delete_releases_space_and_blocks_access(self):
+        disk = Disk()
+        file = disk.file("x", records=list(range(10)))
+        file.delete()
+        assert disk.current_words == 0
+        assert file.deleted
+        with pytest.raises(FileClosedError):
+            len(file)
+
+    def test_delete_is_idempotent(self):
+        disk = Disk()
+        file = disk.file("x", records=[1])
+        file.delete()
+        file.delete()
+        assert disk.current_words == 0
+
+    def test_peak_tracks_maximum_allocation(self):
+        disk = Disk()
+        a = disk.file("a", records=list(range(5)))
+        b = disk.file("b", records=list(range(7)))
+        a.delete()
+        c = disk.file("c", records=list(range(2)))
+        assert disk.peak_words == 12
+        assert disk.current_words == 9
+        b.delete()
+        c.delete()
+
+    def test_space_tracking_can_be_disabled(self):
+        disk = Disk(track_space=False)
+        disk.file("a", records=list(range(100)))
+        assert disk.current_words == 0
+        assert disk.peak_words == 0
+
+
+class TestSlices:
+    def test_slice_bounds_and_length(self):
+        disk = Disk()
+        file = disk.file("x", records=list(range(10)))
+        view = file.slice(2, 6)
+        assert len(view) == 4
+        assert view._read_range(0, 4) == [2, 3, 4, 5]
+
+    def test_slice_clamps_to_file_length(self):
+        disk = Disk()
+        file = disk.file("x", records=list(range(4)))
+        view = file.slice(2, 100)
+        assert len(view) == 2
+
+    def test_nested_slices_are_relative(self):
+        disk = Disk()
+        file = disk.file("x", records=list(range(20)))
+        outer = file.slice(5, 15)
+        inner = outer.slice(2, 5)
+        assert list(iter_records(inner)) == [7, 8, 9]
+
+    def test_invalid_bounds_rejected(self):
+        disk = Disk()
+        file = disk.file("x", records=list(range(4)))
+        with pytest.raises(ValueError):
+            FileSlice(file, 3, 1)
+        with pytest.raises(ValueError):
+            FileSlice(file, -1, 2)
+
+    def test_as_slice_covers_whole_file(self):
+        disk = Disk()
+        file = disk.file("x", records=list(range(9)))
+        assert len(file.as_slice()) == 9
+
+
+class TestIterRecords:
+    def test_iterates_in_order(self):
+        disk = Disk()
+        file = disk.file("x", records=list(range(100)))
+        assert list(iter_records(file, chunk=7)) == list(range(100))
+
+    def test_empty_file_yields_nothing(self):
+        disk = Disk()
+        assert list(iter_records(disk.file("x"))) == []

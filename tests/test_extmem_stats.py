@@ -1,0 +1,107 @@
+"""Unit tests for I/O accounting (repro.extmem.stats)."""
+
+import pytest
+
+from repro.extmem.stats import IOSnapshot, IOStats
+
+
+class TestCharging:
+    def test_new_stats_start_at_zero(self):
+        stats = IOStats()
+        assert stats.reads == 0
+        assert stats.writes == 0
+        assert stats.operations == 0
+        assert stats.total == 0
+
+    def test_charge_read_accumulates(self):
+        stats = IOStats()
+        stats.charge_read()
+        stats.charge_read(4)
+        assert stats.reads == 5
+        assert stats.total == 5
+
+    def test_charge_write_accumulates(self):
+        stats = IOStats()
+        stats.charge_write(3)
+        stats.charge_write()
+        assert stats.writes == 4
+
+    def test_charge_operations_does_not_affect_io(self):
+        stats = IOStats()
+        stats.charge_operations(100)
+        assert stats.operations == 100
+        assert stats.total == 0
+
+    @pytest.mark.parametrize("method", ["charge_read", "charge_write", "charge_operations"])
+    def test_negative_charges_rejected(self, method):
+        stats = IOStats()
+        with pytest.raises(ValueError):
+            getattr(stats, method)(-1)
+
+
+class TestSnapshots:
+    def test_snapshot_is_immutable_copy(self):
+        stats = IOStats()
+        stats.charge_read(2)
+        snap = stats.snapshot()
+        stats.charge_read(10)
+        assert snap.reads == 2
+        assert stats.reads == 12
+
+    def test_since_reports_delta(self):
+        stats = IOStats()
+        stats.charge_read(2)
+        stats.charge_write(1)
+        snap = stats.snapshot()
+        stats.charge_read(3)
+        stats.charge_write(4)
+        delta = stats.since(snap)
+        assert delta.reads == 3
+        assert delta.writes == 4
+        assert delta.total == 7
+
+    def test_snapshot_subtraction(self):
+        a = IOSnapshot(reads=10, writes=5, operations=100)
+        b = IOSnapshot(reads=4, writes=2, operations=60)
+        delta = a - b
+        assert (delta.reads, delta.writes, delta.operations) == (6, 3, 40)
+
+    def test_snapshot_total(self):
+        snap = IOSnapshot(reads=7, writes=3, operations=0)
+        assert snap.total == 10
+
+
+class TestPhasesAndMerge:
+    def test_record_phase_accumulates_by_name(self):
+        stats = IOStats()
+        first = stats.snapshot()
+        stats.charge_read(5)
+        stats.record_phase("scan", first)
+        second = stats.snapshot()
+        stats.charge_write(2)
+        stats.record_phase("scan", second)
+        assert stats.phases == {"scan": 7}
+
+    def test_reset_clears_everything(self):
+        stats = IOStats()
+        stats.charge_read(1)
+        stats.charge_write(1)
+        stats.charge_operations(1)
+        stats.record_phase("p", IOSnapshot(0, 0, 0))
+        stats.reset()
+        assert stats.total == 0
+        assert stats.operations == 0
+        assert stats.phases == {}
+
+    def test_merge_folds_counters_and_phases(self):
+        a = IOStats()
+        a.charge_read(1)
+        a.record_phase("x", IOSnapshot(0, 0, 0))
+        b = IOStats()
+        b.charge_read(2)
+        b.charge_write(3)
+        b.record_phase("x", IOSnapshot(0, 0, 0))
+        a.merge(b)
+        assert a.reads == 3
+        assert a.writes == 3
+        assert a.phases["x"] == 1 + 5

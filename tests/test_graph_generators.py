@@ -1,0 +1,148 @@
+"""Tests for the workload generators (repro.graph.generators)."""
+
+import math
+
+import pytest
+
+from repro.core.baselines.in_memory import count_triangles_in_memory
+from repro.graph.generators import (
+    barabasi_albert,
+    clique,
+    complete_bipartite,
+    complete_tripartite,
+    erdos_renyi_gnm,
+    grid_graph,
+    path_graph,
+    planted_triangles,
+    sells_instance,
+    tripartite_random,
+)
+
+
+def triangles_of(graph) -> int:
+    return count_triangles_in_memory(graph.degree_order().edges)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        graph = erdos_renyi_gnm(100, 300, seed=0)
+        assert graph.num_edges == 300
+        assert graph.num_vertices == 100
+
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi_gnm(50, 120, seed=5)
+        b = erdos_renyi_gnm(50, 120, seed=5)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi_gnm(50, 120, seed=5)
+        b = erdos_renyi_gnm(50, 120, seed=6)
+        assert set(map(frozenset, a.edges())) != set(map(frozenset, b.edges()))
+
+    def test_dense_regime_uses_all_pairs(self):
+        graph = erdos_renyi_gnm(10, 44, seed=1)
+        assert graph.num_edges == 44
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnm(5, 11, seed=0)
+
+    def test_no_vertices_no_edges(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnm(1, 1, seed=0)
+
+
+class TestStructuredGraphs:
+    def test_clique_edge_and_triangle_counts(self):
+        graph = clique(10)
+        assert graph.num_edges == 45
+        assert triangles_of(graph) == math.comb(10, 3)
+
+    def test_complete_bipartite_is_triangle_free(self):
+        graph = complete_bipartite(5, 7)
+        assert graph.num_edges == 35
+        assert triangles_of(graph) == 0
+
+    def test_complete_tripartite_triangle_count(self):
+        graph = complete_tripartite(3, 4, 5)
+        assert graph.num_edges == 3 * 4 + 3 * 5 + 4 * 5
+        assert triangles_of(graph) == 3 * 4 * 5
+
+    def test_path_and_grid_are_triangle_free(self):
+        assert triangles_of(path_graph(30)) == 0
+        assert triangles_of(grid_graph(5, 6)) == 0
+        assert path_graph(30).num_edges == 29
+        assert grid_graph(5, 6).num_edges == 5 * 5 + 4 * 6
+
+    def test_clique_of_sqrt_e_has_e_to_three_halves_triangles(self):
+        """The lower-bound witness: a sqrt(E)-clique has Theta(E^{3/2}) triangles."""
+        graph = clique(20)
+        edges = graph.num_edges
+        triangles = triangles_of(graph)
+        assert triangles >= 0.2 * edges**1.5
+        assert triangles <= edges**1.5
+
+
+class TestBarabasiAlbert:
+    def test_edge_count_and_skew(self):
+        graph = barabasi_albert(200, 3, seed=0)
+        assert graph.num_vertices == 200
+        # m edges per new vertex beyond the initial clique
+        expected = math.comb(4, 2) + (200 - 4) * 3
+        assert graph.num_edges == expected
+        degrees = sorted((graph.degree(v) for v in graph.vertices()), reverse=True)
+        assert degrees[0] >= 3 * degrees[len(degrees) // 2]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 0, seed=0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3, seed=0)
+
+
+class TestPlantedTriangles:
+    def test_exact_triangle_count(self):
+        graph = planted_triangles(17, seed=0)
+        assert triangles_of(graph) == 17
+        assert graph.num_edges == 51
+
+    def test_filler_edges_do_not_add_triangles(self):
+        graph = planted_triangles(5, filler_bipartite_edges=100, seed=3)
+        assert triangles_of(graph) == 5
+        assert graph.num_edges >= 5 * 3 + 50
+
+    def test_zero_triangles(self):
+        graph = planted_triangles(0, filler_bipartite_edges=20, seed=1)
+        assert triangles_of(graph) == 0
+
+
+class TestSellsInstance:
+    def test_tripartite_structure(self):
+        instance = sells_instance(4, 5, 6, pair_probability=0.5, seed=2)
+        graph = instance.graph
+        assert graph.num_vertices == 15
+        # no edges within a part
+        for part in (instance.salespeople, instance.brands, instance.product_types):
+            for a in part:
+                for b in part:
+                    if a != b:
+                        assert not graph.has_edge(a, b)
+
+    def test_edge_lists_match_graph(self):
+        instance = sells_instance(3, 3, 3, pair_probability=0.7, seed=9)
+        for s, b in instance.sells_pairs:
+            assert instance.graph.has_edge(s, b)
+        total_pairs = (
+            len(instance.sells_pairs)
+            + len(instance.brand_type_pairs)
+            + len(instance.sells_types)
+        )
+        assert instance.graph.num_edges == total_pairs
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            sells_instance(2, 2, 2, pair_probability=1.5)
+
+    def test_tripartite_random_wrapper(self):
+        graph = tripartite_random(6, 0.4, seed=1)
+        assert graph.num_vertices == 18

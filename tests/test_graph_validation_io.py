@@ -1,0 +1,99 @@
+"""Tests for edge-list validation and external-memory graph I/O."""
+
+import pytest
+
+from repro.analysis.model import MachineParams
+from repro.exceptions import GraphFormatError
+from repro.extmem.machine import Machine
+from repro.extmem.oblivious import ObliviousVM
+from repro.extmem.stats import IOStats
+from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    edges_to_file,
+    edges_to_vector,
+    file_to_edges,
+    graph_to_file,
+    graph_to_vector,
+)
+from repro.graph.validation import check_canonical_edges, max_vertex, normalize_edges
+
+
+class TestNormalize:
+    def test_orients_dedupes_and_sorts(self):
+        edges = [(3, 1), (1, 3), (2, 5), (0, 1)]
+        assert normalize_edges(edges) == [(0, 1), (1, 3), (2, 5)]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphFormatError):
+            normalize_edges([(2, 2)])
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(GraphFormatError):
+            normalize_edges([(-1, 2)])
+
+    def test_empty_list(self):
+        assert normalize_edges([]) == []
+
+
+class TestCheckCanonical:
+    def test_accepts_canonical_list(self):
+        check_canonical_edges([(0, 1), (0, 2), (1, 2)])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(GraphFormatError):
+            check_canonical_edges([(1, 2), (0, 1)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(GraphFormatError):
+            check_canonical_edges([(0, 1), (0, 1)])
+
+    def test_rejects_bad_orientation(self):
+        with pytest.raises(GraphFormatError):
+            check_canonical_edges([(2, 1)])
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(GraphFormatError):
+            check_canonical_edges([(0.5, 1)])
+
+    def test_rejects_non_pairs(self):
+        with pytest.raises(GraphFormatError):
+            check_canonical_edges([(0, 1, 2)])
+
+    def test_max_vertex(self):
+        assert max_vertex([]) == -1
+        assert max_vertex([(0, 7), (2, 3)]) == 7
+
+
+class TestExternalIO:
+    def test_edges_to_file_charges_no_io(self):
+        machine = Machine(MachineParams(64, 8), IOStats())
+        edges = [(0, 1), (1, 2)]
+        file = edges_to_file(machine, edges)
+        assert machine.stats.total == 0
+        assert file_to_edges(file) == edges
+
+    def test_edges_to_file_validates(self):
+        machine = Machine(MachineParams(64, 8), IOStats())
+        with pytest.raises(GraphFormatError):
+            edges_to_file(machine, [(1, 0)])
+
+    def test_edges_to_vector_round_trip(self):
+        vm = ObliviousVM(MachineParams(64, 8), IOStats())
+        edges = [(0, 2), (1, 3)]
+        vector = edges_to_vector(vm, edges)
+        assert vector.to_list() == edges
+        assert vm.stats.total == 0
+
+    def test_graph_to_file_canonicalises(self):
+        machine = Machine(MachineParams(64, 8), IOStats())
+        graph = Graph(edges=[("b", "a"), ("c", "a"), ("b", "c")])
+        file, order = graph_to_file(machine, graph)
+        check_canonical_edges(file_to_edges(file))
+        assert order.num_edges == 3
+
+    def test_graph_to_vector_matches_order(self):
+        vm = ObliviousVM(MachineParams(64, 8), IOStats())
+        graph = erdos_renyi_gnm(30, 60, seed=4)
+        vector, order = graph_to_vector(vm, graph)
+        assert vector.to_list() == order.edges

@@ -1,0 +1,88 @@
+"""Tests for vertex colourings (repro.hashing.coloring)."""
+
+import pytest
+
+from repro.hashing.coloring import (
+    ConstantColoring,
+    RandomColoring,
+    RefinedColoring,
+    TableColoring,
+    random_bit_function,
+)
+
+
+class TestConstantColoring:
+    def test_everything_is_colour_zero(self):
+        coloring = ConstantColoring()
+        assert coloring.num_colors == 1
+        assert all(coloring.color_of(v) == 0 for v in range(100))
+
+
+class TestRandomColoring:
+    def test_colors_in_range(self):
+        coloring = RandomColoring(5, seed=0)
+        assert coloring.num_colors == 5
+        assert all(0 <= coloring.color_of(v) < 5 for v in range(500))
+
+    def test_deterministic_given_seed(self):
+        a = RandomColoring(8, seed=42)
+        b = RandomColoring(8, seed=42)
+        assert [a.color_of(v) for v in range(100)] == [b.color_of(v) for v in range(100)]
+
+    def test_needs_at_least_one_color(self):
+        with pytest.raises(ValueError):
+            RandomColoring(0)
+
+
+class TestTableColoring:
+    def test_lookup_and_default(self):
+        coloring = TableColoring({1: 2, 5: 0}, num_colors=3)
+        assert coloring.color_of(1) == 2
+        assert coloring.color_of(5) == 0
+        assert coloring.color_of(999) == 0  # missing vertices default to 0
+
+    def test_out_of_range_colors_rejected(self):
+        with pytest.raises(ValueError):
+            TableColoring({1: 3}, num_colors=3)
+        with pytest.raises(ValueError):
+            TableColoring({1: -1}, num_colors=3)
+        with pytest.raises(ValueError):
+            TableColoring({}, num_colors=0)
+
+
+class TestRefinedColoring:
+    def test_doubles_the_number_of_colors(self):
+        parent = TableColoring({0: 0, 1: 1, 2: 2}, num_colors=3)
+        refined = RefinedColoring(parent, bit=lambda v: v % 2)
+        assert refined.num_colors == 6
+
+    def test_refinement_formula(self):
+        parent = TableColoring({0: 1, 1: 2}, num_colors=4)
+        refined = RefinedColoring(parent, bit=lambda v: 1 if v == 0 else 0)
+        assert refined.color_of(0) == 2 * 1 + 1
+        assert refined.color_of(1) == 2 * 2 + 0
+
+    def test_refinement_preserves_parent_classes(self):
+        """Vertices with different parent colours never merge after refinement."""
+        parent = RandomColoring(4, seed=1)
+        refined = RefinedColoring(parent, bit=random_bit_function(seed=2))
+        for v in range(200):
+            for w in range(200):
+                if parent.color_of(v) != parent.color_of(w):
+                    assert refined.color_of(v) != refined.color_of(w)
+
+    def test_non_binary_bit_function_rejected(self):
+        refined = RefinedColoring(ConstantColoring(), bit=lambda v: 2)
+        with pytest.raises(ValueError):
+            refined.color_of(0)
+
+    def test_random_bit_function_is_binary(self):
+        bit = random_bit_function(seed=0)
+        assert all(bit(v) in (0, 1) for v in range(100))
+
+    def test_chained_refinement_gives_power_of_two_colors(self):
+        coloring = ConstantColoring()
+        for level in range(4):
+            coloring = RefinedColoring(coloring, bit=random_bit_function(seed=level))
+        assert coloring.num_colors == 16
+        assert all(0 <= coloring.color_of(v) < 16 for v in range(100))

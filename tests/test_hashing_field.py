@@ -1,0 +1,51 @@
+"""Tests for Mersenne-prime field arithmetic (repro.hashing.field)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.field import MERSENNE_PRIME, mod_p, poly_eval
+
+
+class TestModP:
+    def test_prime_is_mersenne_61(self):
+        assert MERSENNE_PRIME == 2**61 - 1
+
+    def test_reduction_of_small_values(self):
+        assert mod_p(5) == 5
+        assert mod_p(0) == 0
+
+    def test_reduction_of_prime_is_zero(self):
+        assert mod_p(MERSENNE_PRIME) == 0
+        assert mod_p(2 * MERSENNE_PRIME + 7) == 7
+
+
+class TestPolyEval:
+    def test_constant_polynomial(self):
+        assert poly_eval([42], 1234) == 42
+
+    def test_linear_polynomial(self):
+        # 3 + 5x at x = 10
+        assert poly_eval([3, 5], 10) == 53
+
+    def test_cubic_polynomial(self):
+        coefficients = [1, 2, 3, 4]  # 1 + 2x + 3x^2 + 4x^3
+        x = 7
+        expected = (1 + 2 * x + 3 * x**2 + 4 * x**3) % MERSENNE_PRIME
+        assert poly_eval(coefficients, x) == expected
+
+    def test_empty_polynomial_is_zero(self):
+        assert poly_eval([], 99) == 0
+
+    @given(
+        coefficients=st.lists(
+            st.integers(min_value=0, max_value=MERSENNE_PRIME - 1), min_size=1, max_size=5
+        ),
+        x=st.integers(min_value=0, max_value=MERSENNE_PRIME - 1),
+    )
+    def test_property_matches_direct_evaluation(self, coefficients, x):
+        expected = sum(c * pow(x, i, MERSENNE_PRIME) for i, c in enumerate(coefficients))
+        assert poly_eval(coefficients, x) == expected % MERSENNE_PRIME
+
+    def test_result_always_reduced(self):
+        value = poly_eval([MERSENNE_PRIME - 1] * 4, MERSENNE_PRIME - 2)
+        assert 0 <= value < MERSENNE_PRIME

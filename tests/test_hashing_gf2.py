@@ -1,0 +1,110 @@
+"""Tests for GF(2^m) arithmetic (repro.hashing.gf2)."""
+
+import pytest
+
+from repro.hashing.gf2 import (
+    IRREDUCIBLE_POLYNOMIALS,
+    GF2Field,
+    clmul,
+    is_irreducible,
+    poly_mod,
+)
+
+
+class TestPolynomialArithmetic:
+    def test_clmul_basic(self):
+        # (x + 1) * (x + 1) = x^2 + 1 over GF(2)
+        assert clmul(0b11, 0b11) == 0b101
+
+    def test_clmul_by_zero_and_one(self):
+        assert clmul(0b1011, 0) == 0
+        assert clmul(0b1011, 1) == 0b1011
+
+    def test_poly_mod_reduces_degree(self):
+        # x^2 mod (x^2 + x + 1) = x + 1
+        assert poly_mod(0b100, 0b111) == 0b11
+
+    def test_poly_mod_identity_below_modulus(self):
+        assert poly_mod(0b10, 0b111) == 0b10
+
+    def test_poly_mod_zero_modulus_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_mod(5, 0)
+
+    def test_all_table_polynomials_are_irreducible(self):
+        for degree, polynomial in IRREDUCIBLE_POLYNOMIALS.items():
+            assert polynomial.bit_length() - 1 == degree
+            assert is_irreducible(polynomial), f"degree {degree} entry is reducible"
+
+
+class TestField:
+    def test_unsupported_degree_rejected(self):
+        with pytest.raises(ValueError):
+            GF2Field(1)
+        with pytest.raises(ValueError):
+            GF2Field(99)
+
+    def test_addition_is_xor(self):
+        field = GF2Field(4)
+        assert field.add(0b1010, 0b0110) == 0b1100
+
+    def test_multiplicative_identity(self):
+        field = GF2Field(4)
+        for a in field.elements():
+            assert field.multiply(a, 1) == a
+
+    def test_multiplication_by_zero(self):
+        field = GF2Field(4)
+        for a in field.elements():
+            assert field.multiply(a, 0) == 0
+
+    def test_multiplication_commutative_and_associative(self):
+        field = GF2Field(3)
+        elements = list(field.elements())
+        for a in elements:
+            for b in elements:
+                assert field.multiply(a, b) == field.multiply(b, a)
+                for c in elements:
+                    left = field.multiply(field.multiply(a, b), c)
+                    right = field.multiply(a, field.multiply(b, c))
+                    assert left == right
+
+    def test_distributivity(self):
+        field = GF2Field(3)
+        elements = list(field.elements())
+        for a in elements:
+            for b in elements:
+                for c in elements:
+                    left = field.multiply(a, field.add(b, c))
+                    right = field.add(field.multiply(a, b), field.multiply(a, c))
+                    assert left == right
+
+    def test_nonzero_elements_form_a_group(self):
+        """Every nonzero element has a multiplicative inverse (field property)."""
+        field = GF2Field(4)
+        for a in range(1, field.size):
+            products = {field.multiply(a, b) for b in range(1, field.size)}
+            assert products == set(range(1, field.size))
+
+    def test_power_matches_repeated_multiplication(self):
+        field = GF2Field(5)
+        base = 0b10110 % field.size
+        accumulator = 1
+        for exponent in range(10):
+            assert field.power(base, exponent) == accumulator
+            accumulator = field.multiply(accumulator, base)
+
+    def test_power_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            GF2Field(4).power(3, -1)
+
+    def test_element_range_checked(self):
+        field = GF2Field(4)
+        with pytest.raises(ValueError):
+            field.multiply(16, 1)
+
+    def test_inner_product_bit(self):
+        field = GF2Field(4)
+        assert field.inner_product_bit(0b1010, 0b1000) == 1
+        assert field.inner_product_bit(0b1010, 0b0101) == 0
+        assert field.inner_product_bit(0b1110, 0b0110) == 0

@@ -1,0 +1,76 @@
+"""Tests for the k-wise independent hash family (repro.hashing.kwise)."""
+
+import itertools
+from collections import Counter
+
+import pytest
+
+from repro.hashing.kwise import KWiseIndependentHash
+
+
+class TestBasics:
+    def test_values_fall_in_range(self):
+        hash_function = KWiseIndependentHash(7, seed=0)
+        for value in range(1000):
+            assert 0 <= hash_function(value) < 7
+
+    def test_deterministic_given_seed(self):
+        a = KWiseIndependentHash(16, seed=123)
+        b = KWiseIndependentHash(16, seed=123)
+        assert [a(v) for v in range(100)] == [b(v) for v in range(100)]
+
+    def test_different_seeds_differ(self):
+        a = KWiseIndependentHash(1 << 20, seed=1)
+        b = KWiseIndependentHash(1 << 20, seed=2)
+        assert [a(v) for v in range(50)] != [b(v) for v in range(50)]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KWiseIndependentHash(0)
+        with pytest.raises(ValueError):
+            KWiseIndependentHash(4, independence=0)
+
+    def test_bit_requires_binary_range(self):
+        with pytest.raises(ValueError):
+            KWiseIndependentHash(4, seed=0).bit(3)
+        bit_function = KWiseIndependentHash(2, seed=0)
+        assert bit_function.bit(17) in (0, 1)
+
+    def test_range_one_is_constant_zero(self):
+        constant = KWiseIndependentHash(1, seed=5)
+        assert all(constant(v) == 0 for v in range(20))
+
+
+class TestDistribution:
+    def test_roughly_uniform_over_colours(self):
+        """With 4 colours and 4000 keys, each colour should get 1000 +- 25%."""
+        hash_function = KWiseIndependentHash(4, seed=7)
+        counts = Counter(hash_function(v) for v in range(4000))
+        assert set(counts) <= {0, 1, 2, 3}
+        for colour in range(4):
+            assert 700 <= counts[colour] <= 1300
+
+    def test_pair_collision_rate_close_to_one_over_c(self):
+        """Pairwise collision probability should be about 1/c (here 1/8)."""
+        c = 8
+        hash_function = KWiseIndependentHash(c, seed=11)
+        values = [hash_function(v) for v in range(300)]
+        pairs = list(itertools.combinations(values, 2))
+        collisions = sum(1 for a, b in pairs if a == b)
+        rate = collisions / len(pairs)
+        assert 0.5 / c <= rate <= 2.0 / c
+
+    def test_bits_are_balanced(self):
+        bit_function = KWiseIndependentHash(2, seed=3)
+        ones = sum(bit_function(v) for v in range(2000))
+        assert 800 <= ones <= 1200
+
+    def test_average_over_seeds_is_unbiased(self):
+        """Averaging over many draws of the family, each key is uniform."""
+        c = 4
+        counts = Counter()
+        for seed in range(200):
+            hash_function = KWiseIndependentHash(c, seed=seed)
+            counts[hash_function(12345)] += 1
+        for colour in range(c):
+            assert 25 <= counts[colour] <= 75

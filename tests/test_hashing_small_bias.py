@@ -1,0 +1,91 @@
+"""Tests for the AGHP small-bias family (repro.hashing.small_bias)."""
+
+import itertools
+from collections import Counter
+
+import pytest
+
+from repro.hashing.small_bias import BitFunction, SmallBiasFamily
+
+
+class TestConstruction:
+    def test_family_size(self):
+        family = SmallBiasFamily(degree=3)
+        assert family.size == 64
+        assert len(list(family.functions())) == 64
+
+    def test_function_indexing_matches_iteration(self):
+        family = SmallBiasFamily(degree=2)
+        from_iteration = [(f.x, f.y) for f in family.functions()]
+        from_indexing = [(family.function(i).x, family.function(i).y) for i in range(family.size)]
+        assert from_iteration == from_indexing
+
+    def test_function_index_out_of_range(self):
+        family = SmallBiasFamily(degree=2)
+        with pytest.raises(IndexError):
+            family.function(family.size)
+        with pytest.raises(IndexError):
+            family.function(-1)
+
+    def test_bits_are_binary(self):
+        family = SmallBiasFamily(degree=3)
+        function = family.function(17)
+        assert all(function(position) in (0, 1) for position in range(50))
+
+    def test_negative_position_rejected(self):
+        function = SmallBiasFamily(degree=2).function(5)
+        with pytest.raises(ValueError):
+            function(-1)
+
+    def test_with_size_at_most(self):
+        assert SmallBiasFamily.with_size_at_most(16).size == 16
+        assert SmallBiasFamily.with_size_at_most(300).size == 256
+        assert SmallBiasFamily.with_size_at_most(1024).size == 1024
+        with pytest.raises(ValueError):
+            SmallBiasFamily.with_size_at_most(4)
+
+    def test_for_universe_picks_reasonable_degree(self):
+        family = SmallBiasFamily.for_universe(universe_size=1000, alpha=0.5)
+        assert family.size >= 16
+        with pytest.raises(ValueError):
+            SmallBiasFamily.for_universe(0, 0.5)
+        with pytest.raises(ValueError):
+            SmallBiasFamily.for_universe(10, 0.0)
+
+    def test_bias_bound_formula(self):
+        family = SmallBiasFamily(degree=4)
+        assert family.bias(positions=4) == pytest.approx(4 / 16)
+
+
+class TestSmallBiasProperty:
+    def test_single_position_bits_are_nearly_balanced(self):
+        """Over the whole family, each position is 0/1 nearly half the time."""
+        family = SmallBiasFamily(degree=4)
+        for position in (0, 3, 11):
+            ones = sum(f(position) for f in family.functions())
+            # Exactly half would be family.size / 2; allow the epsilon-bias slack.
+            assert abs(ones - family.size / 2) <= family.size * 0.26
+
+    def test_pair_parities_are_nearly_balanced(self):
+        """Parities over two positions are close to uniform across the family."""
+        family = SmallBiasFamily(degree=4)
+        for first, second in [(0, 1), (2, 9)]:
+            parity_ones = sum(f(first) ^ f(second) for f in family.functions())
+            assert abs(parity_ones - family.size / 2) <= family.size * 0.26
+
+    def test_four_bit_patterns_are_roughly_uniform(self):
+        """Lemma 6's guarantee: every 4-position pattern appears ~2^-4 of the time."""
+        family = SmallBiasFamily(degree=5)
+        positions = (1, 4, 7, 13)
+        counts = Counter(
+            tuple(f(p) for p in positions) for f in family.functions()
+        )
+        expected = family.size / 16
+        for pattern in itertools.product((0, 1), repeat=4):
+            assert counts.get(pattern, 0) <= 2.2 * expected
+
+    def test_functions_are_deterministic(self):
+        family = SmallBiasFamily(degree=3)
+        f = family.function(9)
+        again = family.function(9)
+        assert [f(p) for p in range(30)] == [again(p) for p in range(30)]

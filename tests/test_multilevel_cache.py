@@ -1,0 +1,103 @@
+"""Tests for the multilevel LRU cache simulation (repro.extmem.multilevel)."""
+
+import pytest
+
+from repro.analysis.model import MachineParams
+from repro.core.baselines.in_memory import count_triangles_in_memory
+from repro.core.cache_oblivious import cache_oblivious_randomized
+from repro.core.emit import DedupCheckingSink
+from repro.extmem.multilevel import CacheLevel, MultiLevelBlockCache, attach_multilevel
+from repro.extmem.oblivious import ObliviousVM
+from repro.extmem.stats import IOStats
+from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.io import edges_to_vector
+
+
+class TestMultiLevelBlockCache:
+    def test_requires_at_least_one_level(self):
+        with pytest.raises(ValueError):
+            MultiLevelBlockCache([], IOStats())
+
+    def test_level_capacity_validated(self):
+        with pytest.raises(ValueError):
+            CacheLevel("bad", 0)
+
+    def test_each_level_counts_its_own_misses(self):
+        stats = IOStats()
+        cache = MultiLevelBlockCache(
+            [CacheLevel("small", 2), CacheLevel("large", 8)], stats
+        )
+        for block in range(8):
+            cache.access(0, block)
+        for block in range(8):
+            cache.access(0, block)
+        misses = cache.misses_by_level()
+        # The large level holds all 8 blocks: only compulsory misses.
+        assert misses["large"] == 8
+        # The small level (2 blocks) thrashes on the second pass as well.
+        assert misses["small"] == 16
+        # VM-visible stats mirror the largest level.
+        assert stats.reads == 8
+
+    def test_smaller_level_never_has_fewer_misses(self):
+        stats = IOStats()
+        cache = MultiLevelBlockCache(
+            [CacheLevel("l1", 2), CacheLevel("l2", 4), CacheLevel("l3", 16)], stats
+        )
+        import random
+
+        rng = random.Random(0)
+        for _ in range(500):
+            cache.access(0, rng.randrange(32), write=rng.random() < 0.3)
+        cache.flush()
+        totals = cache.total_by_level()
+        assert totals["l1"] >= totals["l2"] >= totals["l3"]
+
+    def test_discard_and_flush_forwarded(self):
+        stats = IOStats()
+        cache = MultiLevelBlockCache([CacheLevel("l1", 2), CacheLevel("l2", 4)], stats)
+        cache.access(5, 0, write=True)
+        cache.discard_storage(5)
+        cache.flush()
+        assert cache.total_by_level()["l2"] == 1  # the compulsory read only
+
+    def test_hit_rate_reports_largest_level(self):
+        cache = MultiLevelBlockCache([CacheLevel("l1", 1), CacheLevel("l2", 4)], IOStats())
+        cache.access(0, 0)
+        cache.access(0, 0)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestAttachMultilevel:
+    def test_single_run_reports_all_levels(self):
+        """One cache-oblivious execution yields per-level I/O counts, and each
+        level's count matches what a dedicated single-level run would give --
+        the operational content of the multilevel-LRU property of Theorem 1."""
+        edges = erdos_renyi_gnm(60, 200, seed=2).degree_order().edges
+        expected_triangles = count_triangles_in_memory(edges)
+        block = 8
+        level_memories = {"L1": 32, "L2": 128, "L3": 512}
+
+        vm, cache = attach_multilevel(
+            MachineParams(memory_words=512, block_words=block), level_memories
+        )
+        vector = edges_to_vector(vm, edges)
+        sink = DedupCheckingSink()
+        cache_oblivious_randomized(vm, vector, sink, seed=5)
+        cache.flush()
+        assert sink.count == expected_triangles
+        multilevel_totals = cache.total_by_level()
+
+        for name, memory in level_memories.items():
+            single_vm = ObliviousVM(MachineParams(memory, block), IOStats())
+            single_vector = edges_to_vector(single_vm, edges)
+            cache_oblivious_randomized(single_vm, single_vector, DedupCheckingSink(), seed=5)
+            single_vm.flush()
+            assert multilevel_totals[name] == single_vm.stats.total
+
+    def test_levels_ordered_by_capacity(self):
+        vm, cache = attach_multilevel(
+            MachineParams(memory_words=256, block_words=8), {"big": 256, "small": 32}
+        )
+        assert [level.name for level in cache.levels] == ["small", "big"]
+        assert vm.cache is cache
