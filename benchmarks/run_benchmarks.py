@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Run the substrate and end-to-end benchmarks and write ``BENCH_substrate.json``.
+
+The file tracks the performance trajectory of the simulated external-memory
+substrate across PRs.  Each invocation measures the current working tree and
+stores the results under a label (``--label before`` / ``--label after`` for
+an optimisation PR, or a PR number for longer series); when both ``before``
+and ``after`` are present the script also records their speedup.
+
+Wall-clock time is measured with a fresh machine per repetition and the best
+(minimum) time is kept; the simulated I/O counters are recorded alongside so
+that perf work can be checked against the model (the counters must not move
+when only the data path changes).
+
+Usage::
+
+    python benchmarks/run_benchmarks.py --label after
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.model import MachineParams  # noqa: E402
+from repro.core.cache_aware import cache_aware_randomized  # noqa: E402
+from repro.core.emit import CountingSink  # noqa: E402
+from repro.extmem.machine import Machine  # noqa: E402
+from repro.extmem.stats import IOStats  # noqa: E402
+from repro.graph.generators import erdos_renyi_gnm  # noqa: E402
+from repro.graph.io import graph_to_file  # noqa: E402
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+
+
+def _io_dict(stats: IOStats) -> dict[str, int]:
+    return {"reads": stats.reads, "writes": stats.writes, "operations": stats.operations}
+
+
+def bench_substrate_sort(num_records: int = 20_000, repeats: int = 5) -> dict:
+    """External merge sort of random integers (mirrors ``bench_substrate.py``)."""
+    data = [random.Random(0).randrange(10**6) for _ in range(num_records)]
+    params = MachineParams(512, 16)
+    times: list[float] = []
+    stats = IOStats()
+    for _ in range(repeats):
+        machine = Machine(params, IOStats())
+        file = machine.file_from_records(data)
+        started = time.perf_counter()
+        machine.sort(file)
+        times.append(time.perf_counter() - started)
+        stats = machine.stats
+    return {
+        "records": num_records,
+        "machine": {"M": params.memory_words, "B": params.block_words},
+        "wall_seconds": min(times),
+        "io": _io_dict(stats),
+    }
+
+
+def bench_cache_aware(num_edges: int = 50_000, repeats: int = 3) -> dict:
+    """End-to-end randomized cache-aware run on a seeded G(n, m) graph."""
+    graph = erdos_renyi_gnm(15_000, num_edges, seed=7)
+    params = MachineParams(2048, 32)
+    times: list[float] = []
+    stats = IOStats()
+    triangles = 0
+    for _ in range(repeats):
+        machine = Machine(params, IOStats())
+        edge_file, _order = graph_to_file(machine, graph)
+        sink = CountingSink()
+        started = time.perf_counter()
+        cache_aware_randomized(machine, edge_file, sink, seed=0)
+        times.append(time.perf_counter() - started)
+        stats = machine.stats
+        triangles = sink.count
+    return {
+        "edges": num_edges,
+        "machine": {"M": params.memory_words, "B": params.block_words},
+        "wall_seconds": min(times),
+        "triangles": triangles,
+        "io": _io_dict(stats),
+    }
+
+
+def run_all(num_edges: int, repeats: int) -> dict[str, dict]:
+    return {
+        "substrate_sort_20k": bench_substrate_sort(repeats=repeats),
+        f"cache_aware_e{num_edges // 1000}k": bench_cache_aware(num_edges, repeats=repeats),
+    }
+
+
+def _speedups(runs: dict) -> dict[str, dict[str, float]]:
+    """Wall-clock speedup of ``after`` over ``before`` per shared benchmark."""
+    if "before" not in runs or "after" not in runs:
+        return {}
+    before = runs["before"]["benchmarks"]
+    after = runs["after"]["benchmarks"]
+    speedups: dict[str, dict[str, float]] = {}
+    for name in sorted(set(before) & set(after)):
+        b, a = before[name]["wall_seconds"], after[name]["wall_seconds"]
+        if a > 0:
+            speedups[name] = {
+                "before_seconds": b,
+                "after_seconds": a,
+                "speedup": round(b / a, 2),
+            }
+    return speedups
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="after", help="label for this run (e.g. before/after)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--edges", type=int, default=50_000, help="end-to-end edge count")
+    parser.add_argument("--repeats", type=int, default=3, help="repetitions (best time kept)")
+    args = parser.parse_args(argv)
+
+    benchmarks = run_all(args.edges, args.repeats)
+
+    data: dict = {}
+    if args.output.exists():
+        data = json.loads(args.output.read_text())
+    runs = data.setdefault("runs", {})
+    runs[args.label] = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "benchmarks": benchmarks,
+    }
+    data["speedup"] = _speedups(runs)
+    args.output.write_text(json.dumps(data, indent=2) + "\n")
+
+    print(f"[{args.label}] wrote {args.output}")
+    for name, result in benchmarks.items():
+        io = result["io"]
+        print(
+            f"  {name}: {result['wall_seconds'] * 1000:.1f} ms  "
+            f"(reads={io['reads']}, writes={io['writes']}, operations={io['operations']})"
+        )
+    for name, entry in data["speedup"].items():
+        print(f"  speedup {name}: {entry['speedup']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

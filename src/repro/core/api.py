@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from repro.analysis.model import MachineParams
 from repro.core.baselines.bnlj import block_nested_loop_join
@@ -38,7 +38,7 @@ from repro.core.baselines.in_memory import triangles_in_memory
 from repro.core.cache_aware import cache_aware_randomized
 from repro.core.cache_oblivious import cache_oblivious_randomized
 from repro.core.derandomized import deterministic_cache_aware
-from repro.core.emit import TriangleSink
+from repro.core.emit import TriangleSink, emit_all
 from repro.exceptions import AlgorithmError
 from repro.extmem.machine import Machine
 from repro.extmem.oblivious import ObliviousVM
@@ -98,6 +98,12 @@ class _TranslatingSink:
         labels = self.order.to_labels((a, b, c))
         self.inner.emit(*labels)
 
+    def emit_many(self, triangles: Sequence[tuple[int, int, int]]) -> None:
+        """Translate and forward a batch of ranked triangles in one call."""
+        self.count += len(triangles)
+        to_labels = self.order.to_labels
+        emit_all(self.inner, [to_labels(triangle) for triangle in triangles])
+
 
 class _LabelCollector:
     """Collects label triangles without re-sorting them (labels may not be comparable)."""
@@ -108,11 +114,17 @@ class _LabelCollector:
     def emit(self, a: Any, b: Any, c: Any) -> None:
         self.triangles.append((a, b, c))
 
+    def emit_many(self, triangles: Sequence[tuple[Any, Any, Any]]) -> None:
+        self.triangles.extend(triangles)
+
 
 class _NullSink:
     """Discards emissions (used when neither collection nor a sink is requested)."""
 
     def emit(self, a: Any, b: Any, c: Any) -> None:  # pragma: no cover - trivial
+        return
+
+    def emit_many(self, triangles: Sequence[tuple[Any, Any, Any]]) -> None:  # pragma: no cover
         return
 
 
@@ -229,6 +241,10 @@ class _TeeSink:
     def emit(self, a: Any, b: Any, c: Any) -> None:
         self.first.emit(a, b, c)
         self.second.emit(a, b, c)
+
+    def emit_many(self, triangles: Sequence[tuple[Any, Any, Any]]) -> None:
+        emit_all(self.first, triangles)
+        emit_all(self.second, triangles)
 
 
 def count_triangles(

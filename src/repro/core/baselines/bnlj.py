@@ -15,7 +15,7 @@ paper's algorithms, and the experiments show exactly that separation.
 from __future__ import annotations
 
 from repro.core.baselines.hu_tao_chung import BaselineReport
-from repro.core.emit import TriangleSink, sorted_triangle
+from repro.core.emit import TriangleSink, emit_all, sorted_triangle
 from repro.extmem.disk import ExtFile
 from repro.extmem.machine import Machine
 
@@ -70,23 +70,31 @@ def _probe_closing_edges(
     so each triangle is emitted exactly once.
     """
     emitted = 0
-    for u, w in machine.scan(edge_file):
-        machine.stats.charge_operations(1)
-        from_first = first_by_larger.get(u)
-        if not from_first:
-            continue
-        from_second = second_by_larger.get(w)
-        if not from_second:
-            continue
-        smaller, larger = (
-            (from_first, from_second)
-            if len(from_first) <= len(from_second)
-            else (from_second, from_first)
-        )
-        larger_set = set(larger)
-        for cone in smaller:
-            machine.stats.charge_operations(1)
-            if cone in larger_set and cone != u and cone != w:
-                sink.emit(*sorted_triangle(cone, u, w))
-                emitted += 1
+    charge_operations = machine.stats.charge_operations
+    first_get = first_by_larger.get
+    second_get = second_by_larger.get
+    for block in machine.scan_blocks(edge_file):
+        charge_operations(len(block))
+        triangles: list[tuple[int, int, int]] = []
+        for u, w in block:
+            from_first = first_get(u)
+            if not from_first:
+                continue
+            from_second = second_get(w)
+            if not from_second:
+                continue
+            smaller, larger = (
+                (from_first, from_second)
+                if len(from_first) <= len(from_second)
+                else (from_second, from_first)
+            )
+            larger_set = set(larger)
+            charge_operations(len(smaller))
+            triangles.extend(
+                sorted_triangle(cone, u, w)
+                for cone in smaller
+                if cone in larger_set and cone != u and cone != w
+            )
+        emit_all(sink, triangles)
+        emitted += len(triangles)
     return emitted

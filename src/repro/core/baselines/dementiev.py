@@ -14,8 +14,11 @@ of the recursion in :mod:`repro.core.cache_oblivious`.
 
 from __future__ import annotations
 
+from itertools import groupby
+from operator import itemgetter
+
 from repro.core.baselines.hu_tao_chung import BaselineReport
-from repro.core.emit import TriangleSink, sorted_triangle
+from repro.core.emit import TriangleSink, emit_all, sorted_triangle
 from repro.extmem.disk import ExtFile
 from repro.extmem.machine import Machine
 
@@ -35,25 +38,34 @@ def dementiev_sort_based(
     if num_edges == 0:
         return BaselineReport(num_edges=0, triangles_emitted=0)
 
-    # Phase 1: generate wedges grouped by cone vertex.
+    # Phase 1: generate wedges grouped by cone vertex (one bulk write and
+    # one bulk work charge per forward-neighbour group).
     with machine.writer("wedges") as wedge_writer:
-        group_vertex: int | None = None
-        group_neighbors: list[int] = []
 
-        def flush_group() -> None:
-            for i, u in enumerate(group_neighbors):
-                for w in group_neighbors[i + 1 :]:
-                    machine.stats.charge_operations(1)
-                    wedge_writer.append((u, w, group_vertex))
+        def flush_group(group_vertex: int, group_neighbors: list[int]) -> None:
+            wedges_of_group = [
+                (u, w, group_vertex)
+                for i, u in enumerate(group_neighbors)
+                for w in group_neighbors[i + 1 :]
+            ]
+            machine.stats.charge_operations(len(wedges_of_group))
+            wedge_writer.extend(wedges_of_group)
 
-        for v, u in machine.scan(edge_file):
-            machine.stats.charge_operations(1)
-            if v != group_vertex:
-                flush_group()
-                group_vertex = v
-                group_neighbors = []
-            group_neighbors.append(u)
-        flush_group()
+        current_vertex: int | None = None
+        current_neighbors: list[int] = []
+        for block in machine.scan_blocks(edge_file):
+            machine.stats.charge_operations(len(block))
+            for v, group in groupby(block, key=itemgetter(0)):
+                neighbors = [u for _, u in group]
+                if v == current_vertex:
+                    current_neighbors.extend(neighbors)
+                else:
+                    if current_vertex is not None:
+                        flush_group(current_vertex, current_neighbors)
+                    current_vertex = v
+                    current_neighbors = neighbors
+        if current_vertex is not None:
+            flush_group(current_vertex, current_neighbors)
     wedges = wedge_writer.file
 
     # Phase 2: sort wedges by their closing edge and merge with the edge list.
@@ -63,12 +75,15 @@ def dementiev_sort_based(
     emitted = 0
     edge_stream = machine.scan(edge_file)
     current_edge = next(edge_stream, None)
-    for u, w, v in machine.scan(sorted_wedges):
-        machine.stats.charge_operations(1)
-        while current_edge is not None and current_edge < (u, w):
-            current_edge = next(edge_stream, None)
-        if current_edge is not None and current_edge == (u, w):
-            sink.emit(*sorted_triangle(v, u, w))
-            emitted += 1
+    for block in machine.scan_blocks(sorted_wedges):
+        machine.stats.charge_operations(len(block))
+        triangles: list[tuple[int, int, int]] = []
+        for u, w, v in block:
+            while current_edge is not None and current_edge < (u, w):
+                current_edge = next(edge_stream, None)
+            if current_edge is not None and current_edge == (u, w):
+                triangles.append(sorted_triangle(v, u, w))
+        emit_all(sink, triangles)
+        emitted += len(triangles)
     sorted_wedges.delete()
     return BaselineReport(num_edges=num_edges, triangles_emitted=emitted)

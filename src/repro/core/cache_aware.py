@@ -23,6 +23,7 @@ Expected I/O complexity ``O(E^{3/2} / (sqrt(M) B))`` by Lemma 3
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from repro.analysis.bounds import colour_count, high_degree_threshold
@@ -32,6 +33,7 @@ from repro.core.lemma2 import triangles_with_pivot_in
 from repro.extmem.disk import ExtFile, FileSlice
 from repro.extmem.machine import Machine
 from repro.hashing.coloring import Coloring, ConstantColoring, RandomColoring
+from repro.hashing.coloring import colors_of as bulk_colors
 
 RankedEdge = tuple[int, int]
 ColorPair = tuple[int, int]
@@ -71,27 +73,29 @@ def compute_degrees(machine: Machine, edge_file: ExtFile) -> ExtFile:
     """External degree computation: a sorted file of ``(vertex, degree)`` records.
 
     Costs ``O(sort(E))`` I/Os: write the 2E endpoints, sort them, and count
-    runs in one scan.
+    runs in one block-granular scan.
     """
     with machine.writer() as endpoints:
-        for u, v in machine.scan(edge_file):
-            machine.stats.charge_operations(1)
-            endpoints.append(u)
-            endpoints.append(v)
+        for block in machine.scan_blocks(edge_file):
+            machine.stats.charge_operations(len(block))
+            endpoints.extend(endpoint for edge in block for endpoint in edge)
     sorted_endpoints = machine.sort(endpoints.file)
     endpoints.file.delete()
 
     with machine.writer() as degrees:
         current: int | None = None
         count = 0
-        for vertex in machine.scan(sorted_endpoints):
-            machine.stats.charge_operations(1)
-            if vertex != current:
-                if current is not None:
-                    degrees.append((current, count))
-                current = vertex
-                count = 0
-            count += 1
+        for block in machine.scan_blocks(sorted_endpoints):
+            machine.stats.charge_operations(len(block))
+            for vertex, group in itertools.groupby(block):
+                group_size = sum(1 for _ in group)
+                if vertex == current:
+                    count += group_size
+                else:
+                    if current is not None:
+                        degrees.append((current, count))
+                    current = vertex
+                    count = group_size
         if current is not None:
             degrees.append((current, count))
     sorted_endpoints.delete()
@@ -104,10 +108,9 @@ def find_high_degree_vertices(
     """Vertices with degree strictly above ``threshold`` (ascending rank order)."""
     degree_file = compute_degrees(machine, edge_file)
     high: list[int] = []
-    for vertex, degree in machine.scan(degree_file):
-        machine.stats.charge_operations(1)
-        if degree > threshold:
-            high.append(vertex)
+    for block in machine.scan_blocks(degree_file):
+        machine.stats.charge_operations(len(block))
+        high.extend(vertex for vertex, degree in block if degree > threshold)
     degree_file.delete()
     return high
 
@@ -136,19 +139,21 @@ def high_degree_phase(
 
     if not high_vertices:
         # E_l is simply the input; copy it so callers can delete it freely
-        # without touching the caller-owned input file.
+        # without touching the caller-owned input file.  The copy inspects
+        # every edge, so it charges operations like the filtering branch.
         with machine.writer("low-degree-edges") as out:
-            for edge in machine.scan(edge_file):
-                out.append(edge)
+            for block in machine.scan_blocks(edge_file):
+                machine.stats.charge_operations(len(block))
+                out.extend(block)
         return high_vertices, out.file, 0
 
     high_set = set(high_vertices)
     with machine.writer("low-degree-edges") as out:
-        for u, v in machine.scan(edge_file):
-            machine.stats.charge_operations(1)
-            if u in high_set or v in high_set:
-                continue
-            out.append((u, v))
+        for block in machine.scan_blocks(edge_file):
+            machine.stats.charge_operations(len(block))
+            out.extend(
+                edge for edge in block if edge[0] not in high_set and edge[1] not in high_set
+            )
     return high_vertices, out.file, emitted
 
 
@@ -172,22 +177,36 @@ def partition_by_coloring(
         u, v = edge
         return (coloring.color_of(u), coloring.color_of(v), u, v)
 
-    partitioned = machine.sort(low_degree_edges, key=sort_key, name=None)
+    def sort_key_many(edges: list[RankedEdge]) -> list[tuple[int, int, int, int]]:
+        # Bulk path: two colour lookups per chunk instead of two per edge.
+        colors_u = bulk_colors(coloring, [edge[0] for edge in edges])
+        colors_v = bulk_colors(coloring, [edge[1] for edge in edges])
+        return [
+            (cu, cv, edge[0], edge[1])
+            for cu, cv, edge in zip(colors_u, colors_v, edges)
+        ]
+
+    partitioned = machine.sort(
+        low_degree_edges, key=sort_key, name=None, key_many=sort_key_many
+    )
     slices: dict[ColorPair, FileSlice] = {}
     sizes: dict[ColorPair, int] = {}
     current: ColorPair | None = None
     start = 0
     index = 0
-    for u, v in machine.scan(partitioned):
-        machine.stats.charge_operations(1)
-        pair = (coloring.color_of(u), coloring.color_of(v))
-        if pair != current:
-            if current is not None:
-                slices[current] = partitioned.slice(start, index)
-                sizes[current] = index - start
-            current = pair
-            start = index
-        index += 1
+    for block in machine.scan_blocks(partitioned):
+        machine.stats.charge_operations(len(block))
+        colors_u = bulk_colors(coloring, [edge[0] for edge in block])
+        colors_v = bulk_colors(coloring, [edge[1] for edge in block])
+        for pair, group in itertools.groupby(zip(colors_u, colors_v)):
+            group_size = sum(1 for _ in group)
+            if pair != current:
+                if current is not None:
+                    slices[current] = partitioned.slice(start, index)
+                    sizes[current] = index - start
+                current = pair
+                start = index
+            index += group_size
     if current is not None:
         slices[current] = partitioned.slice(start, index)
         sizes[current] = index - start
@@ -218,18 +237,29 @@ def enumerate_colored_triples(
                 pivot = slices.get((tau2, tau3))
                 if pivot is None or len(pivot) == 0:
                     continue
+                # A class ``(a, b)`` holds edges whose cone endpoint has
+                # colour ``a`` (the partition sorts by the first endpoint's
+                # colour), so the Lemma 2 cone filter is constant per class:
+                # classes with ``a == tau1`` contribute all their groups and
+                # need no per-vertex filter, the others are pure spectators
+                # that Lemma 2 scans and charges without merging.
                 adjacency_keys = {(tau1, tau2), (tau1, tau3), (tau2, tau3)}
-                adjacency: list[FileSlice] = [
-                    slices[key]
-                    for key in sorted(adjacency_keys)
-                    if key in slices and len(slices[key]) > 0
-                ]
+                adjacency: list[FileSlice] = []
+                spectators: list[FileSlice] = []
+                for key in sorted(adjacency_keys):
+                    source = slices.get(key)
+                    if source is None or len(source) == 0:
+                        continue
+                    if key[0] == tau1:
+                        adjacency.append(source)
+                    else:
+                        spectators.append(source)
                 emitted += triangles_with_pivot_in(
                     machine,
                     pivot,
                     adjacency,
                     sink,
-                    cone_filter=lambda v, target=tau1: coloring.color_of(v) == target,
+                    spectator_sources=spectators,
                 )
     return emitted
 

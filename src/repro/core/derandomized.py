@@ -117,14 +117,13 @@ def greedy_coloring(
     if levels_needed == 0:
         return TableColoring({}, 1), [], 0
 
-    # Discover the vertex universe of E_l (one charged scan).
+    # Discover the vertex universe of E_l (one charged block-granular scan).
     max_vertex = -1
-    for u, v in machine.scan(low_degree_edges):
-        machine.stats.charge_operations(1)
-        if v > max_vertex:
-            max_vertex = v
-        if u > max_vertex:
-            max_vertex = u
+    for block in machine.scan_blocks(low_degree_edges):
+        machine.stats.charge_operations(len(block))
+        block_max = max(max(u, v) for u, v in block)
+        if block_max > max_vertex:
+            max_vertex = block_max
     num_vertices = max_vertex + 1
     if num_vertices <= 0:
         return TableColoring({}, num_colors), [], 0
@@ -144,31 +143,33 @@ def greedy_coloring(
         scale_nonadj = (4.0**level) / float(num_colors) ** 2
         scale_adj = (2.0**level) / float(num_colors)
 
-        # One charged scan of E_l evaluates every candidate.
+        # One charged scan of E_l evaluates every candidate.  Each block is
+        # decorated with the current colours once, then every candidate
+        # sweeps the decorated block with its counters held in locals.
         per_candidate_class_sizes: list[dict[tuple[int, int], int]] = [
             {} for _ in bit_tables
         ]
         per_candidate_vertex_counts: list[dict[tuple[int, int, int], int]] = [
             {} for _ in bit_tables
         ]
-        for u, v in machine.scan(low_degree_edges):
-            cu = colors.get(u, 0)
-            cv = colors.get(v, 0)
+        for block in machine.scan_blocks(low_degree_edges):
+            machine.stats.charge_operations(len(block) * len(bit_tables))
+            decorated = [(u, v, colors.get(u, 0), colors.get(v, 0)) for u, v in block]
             for index, table in enumerate(bit_tables):
-                machine.stats.charge_operations(1)
-                new_cu = 2 * cu + table[u]
-                new_cv = 2 * cv + table[v]
-                pair = (new_cu, new_cv)
                 sizes = per_candidate_class_sizes[index]
-                sizes[pair] = sizes.get(pair, 0) + 1
                 # Two edges are "adjacent" when they share a vertex and land
                 # in the same colour class, so the counter key is the shared
                 # vertex together with the class pair.
                 vertex_counts = per_candidate_vertex_counts[index]
-                key_u = (u, new_cu, new_cv)
-                key_v = (v, new_cu, new_cv)
-                vertex_counts[key_u] = vertex_counts.get(key_u, 0) + 1
-                vertex_counts[key_v] = vertex_counts.get(key_v, 0) + 1
+                for u, v, cu, cv in decorated:
+                    new_cu = 2 * cu + table[u]
+                    new_cv = 2 * cv + table[v]
+                    pair = (new_cu, new_cv)
+                    sizes[pair] = sizes.get(pair, 0) + 1
+                    key_u = (u, new_cu, new_cv)
+                    key_v = (v, new_cu, new_cv)
+                    vertex_counts[key_u] = vertex_counts.get(key_u, 0) + 1
+                    vertex_counts[key_v] = vertex_counts.get(key_v, 0) + 1
 
         for index in range(len(bit_tables)):
             x_total = sum(

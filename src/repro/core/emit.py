@@ -14,7 +14,7 @@ the "exactly once" requirement into an assertion.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Protocol
+from typing import Callable, Iterable, Protocol, Sequence
 
 from repro.exceptions import AlgorithmError
 
@@ -42,6 +42,25 @@ class TriangleSink(Protocol):
         ...
 
 
+def emit_all(sink: TriangleSink, triangles: Sequence[Triangle]) -> None:
+    """Deliver a batch of already-sorted triangles to ``sink``.
+
+    Uses the sink's ``emit_many`` fast path when it has one (the block-
+    granular inner loops produce triangles a group at a time), falling back
+    to per-triangle ``emit`` calls for plain sinks.  A batch delivered
+    through ``emit_many`` must behave exactly as the same triples delivered
+    one by one through ``emit`` -- sinks that normalise or validate in
+    ``emit`` do the same in ``emit_many``.
+    """
+    emit_many = getattr(sink, "emit_many", None)
+    if emit_many is not None:
+        emit_many(triangles)
+        return
+    emit = sink.emit
+    for triangle in triangles:
+        emit(*triangle)
+
+
 class CountingSink:
     """Counts emitted triangles without storing them (the cheapest sink)."""
 
@@ -50,6 +69,10 @@ class CountingSink:
 
     def emit(self, a: int, b: int, c: int) -> None:
         self.count += 1
+
+    def emit_many(self, triangles: Sequence[Triangle]) -> None:
+        """Count a batch of sorted triangles in one call."""
+        self.count += len(triangles)
 
 
 class CollectingSink:
@@ -60,6 +83,15 @@ class CollectingSink:
 
     def emit(self, a: int, b: int, c: int) -> None:
         self.triangles.append(sorted_triangle(a, b, c))
+
+    def emit_many(self, triangles: Sequence[Triangle]) -> None:
+        """Collect a batch of triangles in one call.
+
+        Normalises exactly like repeated :meth:`emit`, so the stored tuples
+        are sorted (and degenerate triples rejected) regardless of how the
+        caller ordered each triple.
+        """
+        self.triangles.extend(sorted_triangle(*t) for t in triangles)
 
     @property
     def count(self) -> int:
@@ -89,6 +121,11 @@ class DedupCheckingSink:
             raise AlgorithmError(f"triangle {triangle} emitted more than once")
         self.seen.add(triangle)
         self.inner.emit(a, b, c)
+
+    def emit_many(self, triangles: Sequence[Triangle]) -> None:
+        """Check and forward a batch of sorted triangles one by one."""
+        for triangle in triangles:
+            self.emit(*triangle)
 
     @property
     def count(self) -> int:

@@ -41,6 +41,8 @@ from repro.extmem.disk import ExtFile, FileSlice, Readable
 from repro.extmem.machine import Machine
 from repro.graph.validation import RankedEdge
 from repro.hashing.coloring import Coloring, ConstantColoring, RandomColoring
+from repro.hashing.coloring import bulk_cached_colors
+from repro.hashing.coloring import colors_of as bulk_colors
 from repro.hashing.kwise import KWiseIndependentHash
 
 Clique = tuple[int, ...]
@@ -318,8 +320,8 @@ def _solve_subproblem(
     refined = _RefinedColoring(coloring, bit)
 
     with machine.writer() as union_writer:
-        for edge in machine.scan_many(sources):
-            union_writer.append(edge)
+        for block in machine.scan_many_blocks(sources):
+            union_writer.extend(block)
     union_file = union_writer.file
     refined_file, refined_slices, _sizes = partition_by_coloring(machine, union_file, refined)
     union_file.delete()
@@ -356,3 +358,13 @@ class _RefinedColoring:
             cached = 2 * self.parent.color_of(vertex) + self.bit(vertex)
             self._cache[vertex] = cached
         return cached
+
+    def colors_of(self, vertices: Sequence[int]) -> list[int]:
+        """Refine a batch of vertices, hashing only the cache misses."""
+
+        def resolve(missing: list[int]) -> list[int]:
+            parents = bulk_colors(self.parent, missing)
+            bits = self.bit.hash_many(missing)
+            return [2 * parent + bit for parent, bit in zip(parents, bits)]
+
+        return bulk_cached_colors(self._cache, vertices, resolve)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
-from repro.core.emit import Triangle, TriangleSink, sorted_triangle
+from repro.core.emit import Triangle, TriangleSink, emit_all, sorted_triangle
 from repro.extmem.disk import Readable
 from repro.extmem.machine import Machine
 
@@ -59,15 +59,17 @@ def triangles_through_vertex(
         return 0
 
     # Step 1: Gamma_v, the neighbourhood of ``vertex`` (excluding removed vertices).
+    excluded_set = set(excluded)
     with machine.writer() as gamma_writer:
-        for u, w in machine.scan_many(sources):
-            machine.stats.charge_operations(1)
-            if u in excluded or w in excluded:
-                continue
-            if u == vertex:
-                gamma_writer.append(w)
-            elif w == vertex:
-                gamma_writer.append(u)
+        for block in machine.scan_many_blocks(sources):
+            machine.stats.charge_operations(len(block))
+            gamma_writer.extend(
+                w if u == vertex else u
+                for u, w in block
+                if (u == vertex or w == vertex)
+                and u not in excluded_set
+                and w not in excluded_set
+            )
     gamma_raw = gamma_writer.file
     if len(gamma_raw) < 2:
         gamma_raw.delete()
@@ -105,13 +107,13 @@ def triangles_through_vertex(
     gamma.delete()
 
     emitted = 0
-    for u, w in machine.scan(closing_edges):
-        machine.stats.charge_operations(1)
-        triangle = sorted_triangle(vertex, u, w)
-        if triangle_filter is not None and not triangle_filter(triangle):
-            continue
-        sink.emit(*triangle)
-        emitted += 1
+    for block in machine.scan_blocks(closing_edges):
+        machine.stats.charge_operations(len(block))
+        triangles = [sorted_triangle(vertex, u, w) for u, w in block]
+        if triangle_filter is not None:
+            triangles = [t for t in triangles if triangle_filter(t)]
+        emit_all(sink, triangles)
+        emitted += len(triangles)
     closing_edges.delete()
     return emitted
 
@@ -126,8 +128,8 @@ def _concatenate(machine: Machine, sources: Sequence[Readable]):
     if len(sources) == 1:
         return sources[0], False
     with machine.writer() as out:
-        for record in machine.scan_many(sources):
-            out.append(record)
+        for block in machine.scan_many_blocks(sources):
+            out.extend(block)
     return out.file, True
 
 
@@ -148,16 +150,19 @@ def _filter_by_membership(
     member_stream = machine.scan(members_sorted)
     current_member: int | None = next(member_stream, None)
     with machine.writer() as out:
-        for edge in machine.scan(edges_sorted):
-            machine.stats.charge_operations(1)
-            u, w = edge
-            if u in excluded_set or w in excluded_set:
-                continue
-            if u == skip_vertex or w == skip_vertex:
-                continue
-            value = key(edge)
-            while current_member is not None and current_member < value:
-                current_member = next(member_stream, None)
-            if current_member is not None and current_member == value:
-                out.append(edge)
+        for block in machine.scan_blocks(edges_sorted):
+            machine.stats.charge_operations(len(block))
+            kept: list[RankedEdge] = []
+            for edge in block:
+                u, w = edge
+                if u in excluded_set or w in excluded_set:
+                    continue
+                if u == skip_vertex or w == skip_vertex:
+                    continue
+                value = key(edge)
+                while current_member is not None and current_member < value:
+                    current_member = next(member_stream, None)
+                if current_member is not None and current_member == value:
+                    kept.append(edge)
+            out.extend(kept)
     return out.file

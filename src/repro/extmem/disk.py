@@ -100,10 +100,18 @@ class FileSlice:
         return self.stop - self.start
 
     def slice(self, start: int, stop: int) -> "FileSlice":
-        """Return a sub-view, with bounds relative to this slice."""
-        absolute_start = self.start + start
-        absolute_stop = min(self.start + stop, self.stop)
-        return FileSlice(self.file, absolute_start, absolute_stop)
+        """Return a sub-view, with bounds relative to this slice.
+
+        Bounds are validated against this slice, not just the parent file: a
+        negative ``start`` is rejected and bounds beyond the end of the view
+        are clamped, so a sub-view can never reach outside its parent.
+        """
+        if start < 0 or stop < start:
+            raise ValueError(f"invalid slice bounds [{start}, {stop})")
+        length = self.stop - self.start
+        start = min(start, length)
+        stop = min(stop, length)
+        return FileSlice(self.file, self.start + start, self.start + stop)
 
     def _read_range(self, start: int, stop: int) -> list[Record]:
         return self.file._read_range(self.start + start, min(self.start + stop, self.stop))
@@ -149,6 +157,26 @@ class Disk:
         file = ExtFile(self, name, materialised)
         if materialised:
             self._grow(len(materialised))
+        return file
+
+    def rename(self, file: ExtFile, new_name: str) -> ExtFile:
+        """Rename a live file in place (no I/O, no space accounting).
+
+        This is the primitive the external sort uses to deliver its output
+        under a requested name: the records are not copied, so the peak
+        disk-space counter is unaffected (re-creating the file would briefly
+        double-count its words).
+        """
+        file._check_open()
+        if self._files.get(file.name) is not file:
+            raise ValueError(f"file {file.name!r} does not live on this disk")
+        if new_name == file.name:
+            return file
+        if new_name in self._files:
+            raise ValueError(f"a file named {new_name!r} already exists")
+        del self._files[file.name]
+        file.name = new_name
+        self._files[new_name] = file
         return file
 
     def _register(self, file: ExtFile) -> None:

@@ -72,23 +72,36 @@ class BufferedWriter:
         """Append a single record to the output file."""
         self._buffer.append(record)
         if len(self._buffer) >= self.machine.block_size:
-            self._flush_block()
+            self._flush_full_blocks()
 
     def extend(self, records: Iterable[Record]) -> None:
-        """Append many records."""
-        for record in records:
-            self.append(record)
+        """Append many records, flushing whole blocks at a time.
 
-    def _flush_block(self) -> None:
-        self.machine.stats.charge_write(1)
-        self.file._append_many(self._buffer)
-        self._buffer = []
+        This is the block-granular fast path: the input is buffered in bulk
+        and every complete block is appended with a single
+        :meth:`ExtFile._append_many` call, charging exactly the same writes
+        as record-by-record :meth:`append` would.
+        """
+        buffer = self._buffer
+        buffer.extend(records)
+        if len(buffer) >= self.machine.block_size:
+            self._flush_full_blocks()
+
+    def _flush_full_blocks(self) -> None:
+        block = self.machine.block_size
+        buffer = self._buffer
+        count = (len(buffer) // block) * block
+        self.machine.stats.charge_write(count // block)
+        self.file._append_many(buffer[:count])
+        del buffer[:count]
 
     def close(self) -> ExtFile:
         """Flush any partial block and return the written file."""
         if not self._closed:
             if self._buffer:
-                self._flush_block()
+                self.machine.stats.charge_write(1)
+                self.file._append_many(self._buffer)
+                self._buffer = []
             self._closed = True
         return self.file
 
@@ -187,27 +200,41 @@ class Machine:
             out.extend(records)
         return out.file
 
-    def scan(self, readable: Readable) -> Iterator[Record]:
-        """Sequentially read a file or slice, charging one read per block.
+    def scan_blocks(self, readable: Readable) -> Iterator[list[Record]]:
+        """Sequentially read a file or slice one *block* at a time.
 
-        The charge is incurred lazily as records are consumed, so an early
-        exit (e.g. a search that stops at the first match) is charged only
-        for the blocks it actually touched.
+        Yields a list of at most ``B`` records per iteration and charges one
+        block read per yielded list -- the block-granular primitive that
+        :meth:`scan` and all batched algorithm loops are built on.  The
+        charge is incurred lazily as blocks are consumed, so an early exit
+        (e.g. a search that stops at the first match) is charged only for
+        the blocks it actually touched.
         """
         block = self.block_size
         total = len(readable)
+        charge_read = self.stats.charge_read
+        read_range = readable._read_range
         position = 0
         while position < total:
             stop = min(position + block, total)
-            self.stats.charge_read(1)
-            for record in readable._read_range(position, stop):
-                yield record
+            charge_read(1)
+            yield read_range(position, stop)
             position = stop
+
+    def scan(self, readable: Readable) -> Iterator[Record]:
+        """Sequentially read a file or slice, charging one read per block."""
+        for records in self.scan_blocks(readable):
+            yield from records
 
     def scan_many(self, readables: Sequence[Readable]) -> Iterator[Record]:
         """Concatenated sequential scan over several files/slices."""
         for readable in readables:
             yield from self.scan(readable)
+
+    def scan_many_blocks(self, readables: Sequence[Readable]) -> Iterator[list[Record]]:
+        """Concatenated block-granular scan over several files/slices."""
+        for readable in readables:
+            yield from self.scan_blocks(readable)
 
     def load(self, readable: Readable, start: int = 0, count: int | None = None) -> list[Record]:
         """Load ``count`` records starting at ``start`` into internal memory.
@@ -237,11 +264,17 @@ class Machine:
         readable: Readable,
         key: Callable[[Record], Any] | None = None,
         name: str | None = None,
+        key_many: Callable[[Sequence[Record]], list[Any]] | None = None,
     ) -> ExtFile:
-        """External multiway merge sort of ``readable`` into a new file."""
+        """External multiway merge sort of ``readable`` into a new file.
+
+        ``key_many`` is the bulk variant of ``key``: it maps a chunk of
+        records to their keys in one call, letting hot sort keys (e.g.
+        colour pairs) be computed once per record instead of per comparison.
+        """
         from repro.extmem.sorting import external_merge_sort
 
-        return external_merge_sort(self, readable, key=key, name=name)
+        return external_merge_sort(self, readable, key=key, name=name, key_many=key_many)
 
     # ------------------------------------------------------------------
     # misc

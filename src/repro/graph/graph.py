@@ -54,6 +54,23 @@ class Graph:
         self._adjacency.setdefault(u, set()).add(v)
         self._adjacency.setdefault(v, set()).add(u)
 
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        """Add many undirected edges (bulk construction path).
+
+        Same semantics as calling :meth:`add_edge` per pair; the adjacency
+        dictionary is looked up once per endpoint with ``setdefault`` inside
+        a single loop, which is what the join layer uses to build its union
+        graphs from whole relations at a time.
+        """
+        adjacency = self._adjacency
+        for u, v in edges:
+            if u == v:
+                raise GraphFormatError(
+                    f"self-loop on vertex {u!r} is not allowed in a simple graph"
+                )
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+
     # ------------------------------------------------------------------
     # basic queries
     # ------------------------------------------------------------------

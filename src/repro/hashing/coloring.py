@@ -9,13 +9,17 @@ A *colouring* maps vertex ids to small integers.  The paper uses three kinds:
   4-wise independent random bit (cache-oblivious recursion, Section 3) or a
   deterministically chosen member of a small-bias family (Section 4).
 
-All colourings implement ``color_of(vertex) -> int`` and expose
-``num_colors``; colours are integers ``0 .. num_colors - 1``.
+All colourings implement ``color_of(vertex) -> int`` plus the bulk variant
+``colors_of(vertices) -> list[int]`` and expose ``num_colors``; colours are
+integers ``0 .. num_colors - 1``.  The bulk variant is the block-granular
+fast path: the algorithms colour whole blocks of endpoints with one call
+(sort keys, partition boundaries), so the per-vertex Python call overhead
+is paid once per block instead of once per endpoint.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Callable, Protocol, Sequence
 
 from repro.hashing.kwise import KWiseIndependentHash
 
@@ -29,6 +33,10 @@ class Coloring(Protocol):
         """Colour of ``vertex`` (an integer in ``[0, num_colors)``)."""
         ...
 
+    def colors_of(self, vertices: Sequence[int]) -> list[int]:
+        """Colours of a batch of vertices (one call per block)."""
+        ...
+
 
 class ConstantColoring:
     """Every vertex gets colour 0; the top-level (1,1,1) problem."""
@@ -38,6 +46,9 @@ class ConstantColoring:
 
     def color_of(self, vertex: int) -> int:
         return 0
+
+    def colors_of(self, vertices: Sequence[int]) -> list[int]:
+        return [0] * len(vertices)
 
 
 class RandomColoring:
@@ -63,6 +74,10 @@ class RandomColoring:
             self._cache[vertex] = cached
         return cached
 
+    def colors_of(self, vertices: Sequence[int]) -> list[int]:
+        """Colour a batch of vertices, hashing only the cache misses."""
+        return bulk_cached_colors(self._cache, vertices, self._hash.hash_many)
+
 
 class TableColoring:
     """A colouring backed by an explicit mapping (used by the derandomization).
@@ -82,6 +97,10 @@ class TableColoring:
 
     def color_of(self, vertex: int) -> int:
         return self._table.get(vertex, 0)
+
+    def colors_of(self, vertices: Sequence[int]) -> list[int]:
+        get = self._table.get
+        return [get(vertex, 0) for vertex in vertices]
 
 
 class RefinedColoring:
@@ -103,6 +122,51 @@ class RefinedColoring:
         if bit not in (0, 1):
             raise ValueError(f"bit function returned {bit!r}, expected 0 or 1")
         return 2 * self.parent.color_of(vertex) + bit
+
+    def colors_of(self, vertices: Sequence[int]) -> list[int]:
+        parents = colors_of(self.parent, vertices)
+        bit = self.bit
+        out: list[int] = []
+        for vertex, parent_color in zip(vertices, parents):
+            b = bit(vertex)
+            if b not in (0, 1):
+                raise ValueError(f"bit function returned {b!r}, expected 0 or 1")
+            out.append(2 * parent_color + b)
+        return out
+
+
+def bulk_cached_colors(
+    cache: dict[int, int],
+    vertices: Sequence[int],
+    resolve_missing: Callable[[list[int]], Sequence[int]],
+) -> list[int]:
+    """Bulk colour lookup against a per-vertex cache.
+
+    Reads every vertex from ``cache`` first and resolves only the misses
+    with one ``resolve_missing(sorted_missing_vertices)`` call, writing the
+    results back.  Shared by every caching colouring's ``colors_of``.
+    """
+    out = [cache.get(vertex) for vertex in vertices]
+    if None in out:
+        missing = sorted({v for v, c in zip(vertices, out) if c is None})
+        for vertex, color in zip(missing, resolve_missing(missing)):
+            cache[vertex] = color
+        out = [cache[vertex] for vertex in vertices]
+    return out
+
+
+def colors_of(coloring: Coloring, vertices: Sequence[int]) -> list[int]:
+    """Bulk colour lookup that tolerates colourings without a bulk method.
+
+    The block-granular algorithm loops call this instead of per-vertex
+    ``color_of`` so user-supplied colourings that predate ``colors_of``
+    keep working.
+    """
+    bulk = getattr(coloring, "colors_of", None)
+    if bulk is not None:
+        return bulk(vertices)
+    color_of = coloring.color_of
+    return [color_of(vertex) for vertex in vertices]
 
 
 def random_bit_function(seed: int | None = None) -> KWiseIndependentHash:

@@ -10,6 +10,7 @@ recursion (Section 3).
 from __future__ import annotations
 
 import random
+from typing import Iterable
 
 from repro.hashing.field import MERSENNE_PRIME, poly_eval
 
@@ -53,6 +54,26 @@ class KWiseIndependentHash:
     def __call__(self, value: int) -> int:
         """Hash ``value`` into ``{0, ..., range_size - 1}``."""
         return poly_eval(self.coefficients, value % MERSENNE_PRIME) % self.range_size
+
+    def hash_many(self, values: Iterable[int]) -> list[int]:
+        """Hash a batch of values in one call (block-granular fast path).
+
+        Equivalent to ``[self(v) for v in values]`` with the polynomial
+        evaluation inlined, so bulk callers (sort keys, colourings) avoid a
+        Python call per value.
+        """
+        coefficients = list(reversed(self.coefficients))
+        prime = MERSENNE_PRIME
+        range_size = self.range_size
+        out: list[int] = []
+        append = out.append
+        for value in values:
+            x = value % prime
+            acc = 0
+            for coefficient in coefficients:
+                acc = (acc * x + coefficient) % prime
+            append(acc % range_size)
+        return out
 
     def bit(self, value: int) -> int:
         """Hash ``value`` to a single bit (requires ``range_size == 2``)."""

@@ -44,6 +44,18 @@ class Relation:
             )
         self._rows.add(row)
 
+    def add_many(self, rows: Iterable[Row]) -> None:
+        """Insert many tuples in one call (bulk construction path)."""
+        arity = len(self.attributes)
+        materialised = [tuple(row) for row in rows]
+        for row in materialised:
+            if len(row) != arity:
+                raise RelationError(
+                    f"tuple {row!r} has arity {len(row)}, schema {self.attributes!r} "
+                    f"expects {arity}"
+                )
+        self._rows.update(materialised)
+
     def rows(self) -> set[Row]:
         """All tuples (a copy)."""
         return set(self._rows)

@@ -53,12 +53,9 @@ def triangle_join(
         )
 
     graph = Graph()
-    for x, y in first.rows():
-        graph.add_edge((_TAG_FIRST, x), (_TAG_SHARED, y))
-    for y, z in second.rows():
-        graph.add_edge((_TAG_SHARED, y), (_TAG_SECOND, z))
-    for x, z in third.rows():
-        graph.add_edge((_TAG_FIRST, x), (_TAG_SECOND, z))
+    graph.add_edges(((_TAG_FIRST, x), (_TAG_SHARED, y)) for x, y in first.rows())
+    graph.add_edges(((_TAG_SHARED, y), (_TAG_SECOND, z)) for y, z in second.rows())
+    graph.add_edges(((_TAG_FIRST, x), (_TAG_SECOND, z)) for x, z in third.rows())
 
     result = enumerate_triangles(
         graph, algorithm=algorithm, params=params, seed=seed, collect=True
@@ -66,9 +63,11 @@ def triangle_join(
 
     joined = Relation(name or "triangle-join", (x_attr, y_attr, z_attr))
     assert result.triangles is not None
+    rows: list[tuple[Any, Any, Any]] = []
     for triangle in result.triangles:
         values: dict[str, Any] = {}
         for tag, value in triangle:
             values[tag] = value
-        joined.add((values[_TAG_FIRST], values[_TAG_SHARED], values[_TAG_SECOND]))
+        rows.append((values[_TAG_FIRST], values[_TAG_SHARED], values[_TAG_SECOND]))
+    joined.add_many(rows)
     return joined, result
