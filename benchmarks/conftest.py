@@ -13,7 +13,7 @@ Run with::
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any
 
 import pytest
 

@@ -12,9 +12,23 @@ Wall-clock time is measured with a fresh machine per repetition and the best
 that perf work can be checked against the model (the counters must not move
 when only the data path changes).
 
+Two additions support CI:
+
+* ``--smoke`` shrinks the inputs so the whole run takes a few seconds.
+* ``--check`` compares the measured simulated read/write/operation counters
+  (and triangle counts) against the golden values pinned under ``"golden"``
+  in ``BENCH_substrate.json`` and exits non-zero on any drift -- wall-clock
+  time is deliberately *not* checked, only the deterministic counters.
+  Re-pin after an intentional counter change with ``--pin-golden``.
+
+Each benchmark result is also persisted as a ``repro-run/v1`` JSON artifact
+in the experiment result store (``results/<spec_hash>.json``), the same
+schema the experiment orchestrator uses.
+
 Usage::
 
     python benchmarks/run_benchmarks.py --label after
+    python benchmarks/run_benchmarks.py --smoke --check
 """
 
 from __future__ import annotations
@@ -32,6 +46,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.analysis.model import MachineParams  # noqa: E402
 from repro.core.cache_aware import cache_aware_randomized  # noqa: E402
 from repro.core.emit import CountingSink  # noqa: E402
+from repro.experiments.specs import make_spec  # noqa: E402
+from repro.experiments.store import ResultStore  # noqa: E402
 from repro.extmem.machine import Machine  # noqa: E402
 from repro.extmem.stats import IOStats  # noqa: E402
 from repro.graph.generators import erdos_renyi_gnm  # noqa: E402
@@ -39,12 +55,20 @@ from repro.graph.io import graph_to_file  # noqa: E402
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
 
+#: Input sizes per mode; smoke is sized for a CI job, full for perf tracking.
+SIZES = {
+    "full": {"records": 20_000, "edges": 50_000, "repeats": 3},
+    "smoke": {"records": 2_000, "edges": 4_000, "repeats": 1},
+}
+#: Counters compared by ``--check`` (wall-clock time deliberately excluded).
+CHECKED_FIELDS = ("reads", "writes", "operations")
+
 
 def _io_dict(stats: IOStats) -> dict[str, int]:
     return {"reads": stats.reads, "writes": stats.writes, "operations": stats.operations}
 
 
-def bench_substrate_sort(num_records: int = 20_000, repeats: int = 5) -> dict:
+def bench_substrate_sort(num_records: int, repeats: int) -> dict:
     """External merge sort of random integers (mirrors ``bench_substrate.py``)."""
     data = [random.Random(0).randrange(10**6) for _ in range(num_records)]
     params = MachineParams(512, 16)
@@ -65,9 +89,9 @@ def bench_substrate_sort(num_records: int = 20_000, repeats: int = 5) -> dict:
     }
 
 
-def bench_cache_aware(num_edges: int = 50_000, repeats: int = 3) -> dict:
+def bench_cache_aware(num_edges: int, repeats: int) -> dict:
     """End-to-end randomized cache-aware run on a seeded G(n, m) graph."""
-    graph = erdos_renyi_gnm(15_000, num_edges, seed=7)
+    graph = erdos_renyi_gnm(max(64, num_edges * 3 // 10), num_edges, seed=7)
     params = MachineParams(2048, 32)
     times: list[float] = []
     stats = IOStats()
@@ -90,10 +114,10 @@ def bench_cache_aware(num_edges: int = 50_000, repeats: int = 3) -> dict:
     }
 
 
-def run_all(num_edges: int, repeats: int) -> dict[str, dict]:
+def run_all(num_records: int, num_edges: int, repeats: int) -> dict[str, dict]:
     return {
-        "substrate_sort_20k": bench_substrate_sort(repeats=repeats),
-        f"cache_aware_e{num_edges // 1000}k": bench_cache_aware(num_edges, repeats=repeats),
+        f"substrate_sort_{num_records // 1000}k": bench_substrate_sort(num_records, repeats),
+        f"cache_aware_e{num_edges // 1000}k": bench_cache_aware(num_edges, repeats),
     }
 
 
@@ -115,36 +139,132 @@ def _speedups(runs: dict) -> dict[str, dict[str, float]]:
     return speedups
 
 
+def _golden_entry(result: dict) -> dict:
+    """The deterministic subset of a benchmark result worth pinning."""
+    entry = {"io": dict(result["io"])}
+    if "triangles" in result:
+        entry["triangles"] = result["triangles"]
+    return entry
+
+
+def check_against_golden(benchmarks: dict[str, dict], golden: dict[str, dict]) -> list[str]:
+    """Compare measured counters against pinned ones; returns drift messages."""
+    problems: list[str] = []
+    for name, result in benchmarks.items():
+        if name not in golden:
+            problems.append(f"{name}: no golden counters pinned")
+            continue
+        pinned = golden[name]
+        for field in CHECKED_FIELDS:
+            measured = result["io"][field]
+            expected = pinned["io"].get(field)
+            if measured != expected:
+                problems.append(f"{name}: {field} drifted (golden {expected}, measured {measured})")
+        if "triangles" in pinned and pinned["triangles"] != result.get("triangles"):
+            problems.append(
+                f"{name}: triangles drifted (golden {pinned['triangles']}, "
+                f"measured {result.get('triangles')})"
+            )
+    return problems
+
+
+def persist_artifacts(benchmarks: dict[str, dict], results_dir: str, mode: str) -> None:
+    """Store each benchmark result as a ``repro-run/v1`` artifact."""
+    store = ResultStore(results_dir)
+    for name, result in benchmarks.items():
+        spec = make_spec(
+            "bench",
+            name=name,
+            mode=mode,
+            machine=result["machine"],
+            records=result.get("records"),
+            edges=result.get("edges"),
+        )
+        store.put(spec, result)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default="after", help="label for this run (e.g. before/after)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
-    parser.add_argument("--edges", type=int, default=50_000, help="end-to-end edge count")
-    parser.add_argument("--repeats", type=int, default=3, help="repetitions (best time kept)")
+    parser.add_argument("--edges", type=int, help="override the end-to-end edge count")
+    parser.add_argument("--records", type=int, help="override the sort record count")
+    parser.add_argument("--repeats", type=int, help="repetitions (best time kept)")
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized inputs (a few seconds total)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare counters against the pinned golden values and exit non-zero on drift "
+        "(does not update the runs section)",
+    )
+    parser.add_argument(
+        "--pin-golden",
+        action="store_true",
+        help="(re)pin the golden counters for this mode from the current measurement",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="experiment result store to mirror benchmark artifacts into ('' disables)",
+    )
     args = parser.parse_args(argv)
+    if args.check and args.pin_golden:
+        parser.error("--check and --pin-golden are mutually exclusive; pin first, then check")
 
-    benchmarks = run_all(args.edges, args.repeats)
+    mode = "smoke" if args.smoke else "full"
+    sizes = SIZES[mode]
+    num_records = args.records if args.records is not None else sizes["records"]
+    num_edges = args.edges if args.edges is not None else sizes["edges"]
+    repeats = args.repeats if args.repeats is not None else sizes["repeats"]
 
-    data: dict = {}
-    if args.output.exists():
-        data = json.loads(args.output.read_text())
-    runs = data.setdefault("runs", {})
-    runs[args.label] = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "python": platform.python_version(),
-        "benchmarks": benchmarks,
-    }
-    data["speedup"] = _speedups(runs)
-    args.output.write_text(json.dumps(data, indent=2) + "\n")
+    benchmarks = run_all(num_records, num_edges, repeats)
+    if args.results_dir:
+        persist_artifacts(benchmarks, args.results_dir, mode)
 
-    print(f"[{args.label}] wrote {args.output}")
     for name, result in benchmarks.items():
         io = result["io"]
         print(
             f"  {name}: {result['wall_seconds'] * 1000:.1f} ms  "
             f"(reads={io['reads']}, writes={io['writes']}, operations={io['operations']})"
         )
-    for name, entry in data["speedup"].items():
+
+    data: dict = {}
+    if args.output.exists():
+        data = json.loads(args.output.read_text())
+
+    if args.check:
+        golden = data.get("golden", {}).get(mode, {})
+        problems = check_against_golden(benchmarks, golden)
+        if problems:
+            for problem in problems:
+                print(f"DRIFT {problem}", file=sys.stderr)
+            print(
+                f"counter regression against BENCH_substrate.json golden[{mode!r}]; "
+                "if intentional, re-pin with --pin-golden",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"counters match golden[{mode!r}] ({len(benchmarks)} benchmarks)")
+        return 0
+
+    if args.pin_golden:
+        data.setdefault("golden", {})[mode] = {
+            name: _golden_entry(result) for name, result in benchmarks.items()
+        }
+    else:
+        runs = data.setdefault("runs", {})
+        runs[args.label] = {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": platform.python_version(),
+            "benchmarks": benchmarks,
+        }
+        data["speedup"] = _speedups(runs)
+    args.output.write_text(json.dumps(data, indent=2) + "\n")
+
+    print(f"[{'golden:' + mode if args.pin_golden else args.label}] wrote {args.output}")
+    for name, entry in data.get("speedup", {}).items():
         print(f"  speedup {name}: {entry['speedup']}x")
     return 0
 

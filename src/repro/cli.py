@@ -15,11 +15,13 @@ Four subcommands cover the everyday uses of the library:
     transitivity.
 
 ``repro generate KIND``
-    Write a synthetic workload (random / clique / tripartite / planted) to
-    an edge-list file, for experimentation without external data.
+    Write a synthetic workload (random / clique / tripartite / planted /
+    powerlaw / community / bipartite) to an edge-list file, for
+    experimentation without external data.
 
 ``repro experiments ...``
-    Forwarded to :mod:`repro.experiments.run_all`.
+    Forwarded to :mod:`repro.experiments.run_all` (the parallel experiment
+    orchestrator; supports ``--jobs N`` and the ``results/`` artifact store).
 
 The simulated machine is configured with ``--memory`` and ``--block``
 (in words, i.e. records); see DESIGN.md for the cost model.
@@ -35,7 +37,15 @@ from repro import __version__
 from repro.analysis.model import MachineParams
 from repro.core.api import ALGORITHMS, enumerate_triangles
 from repro.graph.files import read_edge_list, write_edge_list
-from repro.graph.generators import clique, complete_tripartite, erdos_renyi_gnm, planted_triangles
+from repro.graph.generators import (
+    chung_lu_power_law,
+    clique,
+    complete_tripartite,
+    erdos_renyi_gnm,
+    planted_partition,
+    planted_triangles,
+    random_bipartite,
+)
 from repro.graph.metrics import clustering_coefficients, transitivity, triangle_statistics
 
 _EXTERNAL_ALGORITHMS = ("cache_aware", "deterministic", "hu_tao_chung", "dementiev", "bnlj")
@@ -90,13 +100,33 @@ def _build_parser() -> argparse.ArgumentParser:
 
     generate_parser = subparsers.add_parser("generate", help="write a synthetic edge-list file")
     generate_parser.add_argument(
-        "kind", choices=("random", "clique", "tripartite", "planted"), help="workload family"
+        "kind",
+        choices=(
+            "random",
+            "clique",
+            "tripartite",
+            "planted",
+            "powerlaw",
+            "community",
+            "bipartite",
+        ),
+        help="workload family",
     )
     generate_parser.add_argument("--output", required=True, help="output edge-list path")
-    generate_parser.add_argument("--vertices", type=int, default=300, help="number of vertices (random)")
-    generate_parser.add_argument("--edges", type=int, default=900, help="number of edges (random)")
+    generate_parser.add_argument(
+        "--vertices", type=int, default=300, help="number of vertices (random / powerlaw)"
+    )
+    generate_parser.add_argument(
+        "--edges", type=int, default=900, help="number of edges (random / powerlaw / bipartite)"
+    )
     generate_parser.add_argument("--size", type=int, default=30, help="clique size / tripartite part size")
     generate_parser.add_argument("--triangles", type=int, default=50, help="planted triangle count")
+    generate_parser.add_argument(
+        "--exponent", type=float, default=2.5, help="power-law degree exponent (powerlaw)"
+    )
+    generate_parser.add_argument(
+        "--communities", type=int, default=8, help="number of communities (community)"
+    )
     generate_parser.add_argument("--seed", type=int, default=0, help="generator seed")
 
     experiments_parser = subparsers.add_parser(
@@ -174,6 +204,31 @@ def _command_generate(arguments: argparse.Namespace) -> int:
     elif arguments.kind == "tripartite":
         graph = complete_tripartite(arguments.size, arguments.size, arguments.size)
         description = f"complete tripartite with parts of {arguments.size}"
+    elif arguments.kind == "powerlaw":
+        graph = chung_lu_power_law(
+            arguments.vertices, arguments.edges, exponent=arguments.exponent, seed=arguments.seed
+        )
+        description = (
+            f"Chung-Lu power law (n={arguments.vertices}, m={arguments.edges}, "
+            f"exponent={arguments.exponent}), seed={arguments.seed}"
+        )
+    elif arguments.kind == "community":
+        intra = max(1, (arguments.edges * 4) // 5)
+        graph = planted_partition(
+            arguments.communities,
+            arguments.size,
+            intra,
+            arguments.edges - intra,
+            seed=arguments.seed,
+        )
+        description = (
+            f"planted partition ({arguments.communities} communities of {arguments.size}, "
+            f"m={arguments.edges}), seed={arguments.seed}"
+        )
+    elif arguments.kind == "bipartite":
+        side = max(2, int(arguments.edges**0.5) + 1)
+        graph = random_bipartite(side, side, arguments.edges, seed=arguments.seed)
+        description = f"random bipartite ({side}x{side}, m={arguments.edges}), seed={arguments.seed}"
     else:
         graph = planted_triangles(
             arguments.triangles, filler_bipartite_edges=arguments.edges, seed=arguments.seed

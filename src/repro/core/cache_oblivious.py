@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from itertools import product
 from typing import Callable
 
 from repro.core.emit import TriangleSink, sorted_triangle

@@ -5,22 +5,17 @@ The cache-aware algorithm first strips vertices of degree above
 classes containing a hub's edges become enormous, the collision statistic
 ``X_xi`` blows up past the ``E*M`` budget of Lemma 3, and step 3 pays for it
 in I/Os.  The ablation runs the colour-partition machinery directly on the
-full edge set of a hub-heavy graph and compares it with the full algorithm.
+full edge set of a hub-heavy graph and compares it with the full algorithm
+(see the ``colour_ablation`` task in :mod:`repro.experiments.tasks`).
 """
 
 from __future__ import annotations
 
-from repro.analysis.bounds import colour_count, expected_colour_collisions
+from repro.analysis.bounds import expected_colour_collisions
 from repro.analysis.model import MachineParams
-from repro.core.cache_aware import enumerate_colored_triples, partition_by_coloring
-from repro.core.emit import CountingSink
-from repro.experiments.runner import run_on_edges
+from repro.experiments.parallel import ResultSet, execute_specs
+from repro.experiments.specs import RunSpec, make_spec, workload_ref
 from repro.experiments.tables import Table
-from repro.experiments.workloads import hub, sparse_random
-from repro.extmem.machine import Machine
-from repro.extmem.stats import IOStats
-from repro.graph.io import edges_to_file
-from repro.hashing.coloring import RandomColoring
 
 EXPERIMENT_ID = "EXP10"
 TITLE = "Ablation: colour partitioning with and without the high-degree phase"
@@ -29,26 +24,46 @@ CLAIM = "Skipping the sqrt(E*M) high-degree phase inflates X_xi and step-3 I/Os 
 PARAMS = MachineParams(memory_words=64, block_words=16)
 QUICK_EDGES = 1024
 FULL_EDGES = 3072
+WORKLOAD_FAMILIES = ("hub", "sparse_random")
 
 
-def _without_high_degree_phase(edges, seed: int) -> tuple[int, int, int]:
-    """Partition + triple enumeration on the *full* edge set (no step 1)."""
-    machine = Machine(PARAMS, IOStats())
-    edge_file = edges_to_file(machine, edges)
-    colours = max(1, colour_count(len(edges), PARAMS.memory_words))
-    coloring = RandomColoring(colours, seed=seed) if colours > 1 else RandomColoring(2, seed=seed)
-    partitioned, slices, sizes = partition_by_coloring(machine, edge_file, coloring)
-    sink = CountingSink()
-    enumerate_colored_triples(machine, slices, coloring, sink)
-    partitioned.delete()
-    x_xi = sum(size * (size - 1) // 2 for size in sizes.values())
-    return machine.stats.total, x_xi, sink.count
-
-
-def run(quick: bool = True) -> Table:
-    """Run the ablation on a skewed and a non-skewed workload."""
+def _cells(quick: bool) -> list[tuple[str, dict[str, RunSpec]]]:
     edge_target = QUICK_EDGES if quick else FULL_EDGES
-    workloads = [hub(edge_target), sparse_random(edge_target)]
+    cells: list[tuple[str, dict[str, RunSpec]]] = []
+    for family in WORKLOAD_FAMILIES:
+        reference = workload_ref(family, num_edges=edge_target)
+        cells.append(
+            (
+                family,
+                {
+                    "full": make_spec(
+                        "edges",
+                        workload=reference,
+                        algorithm="cache_aware",
+                        memory=PARAMS.memory_words,
+                        block=PARAMS.block_words,
+                        seed=10,
+                    ),
+                    "ablated": make_spec(
+                        "colour_ablation",
+                        workload=reference,
+                        memory=PARAMS.memory_words,
+                        block=PARAMS.block_words,
+                        seed=10,
+                    ),
+                },
+            )
+        )
+    return cells
+
+
+def specs(quick: bool = True) -> list[RunSpec]:
+    """The flat list of independent run specs of this experiment."""
+    return [spec for _, cell in _cells(quick) for spec in cell.values()]
+
+
+def tabulate(results: ResultSet, quick: bool = True) -> Table:
+    """Rebuild the result table from executed (or stored) cells."""
     table = Table(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -64,24 +79,20 @@ def run(quick: bool = True) -> Table:
             "triangles agree",
         ),
     )
-    for workload in workloads:
-        full = run_on_edges(workload.edges, "cache_aware", PARAMS, seed=10)
-        colour_phase = (full.phases or {}).get("partition", 0) + (full.phases or {}).get(
-            "triples", 0
-        )
-        ablated_io, ablated_x, ablated_triangles = _without_high_degree_phase(
-            workload.edges, seed=10
-        )
-        budget = expected_colour_collisions(workload.num_edges, PARAMS.memory_words)
+    for _, cell in _cells(quick):
+        full = results[cell["full"]]
+        ablated = results[cell["ablated"]]
+        phases = full["phases"] or {}
+        budget = expected_colour_collisions(full["num_edges"], PARAMS.memory_words)
         table.add_row(
-            workload.name,
-            workload.num_edges,
-            colour_phase,
-            ablated_io,
-            full.total_ios,
-            full.report.x_xi / budget,
-            ablated_x / budget,
-            ablated_triangles == full.triangles,
+            full["workload"],
+            full["num_edges"],
+            phases.get("partition", 0) + phases.get("triples", 0),
+            ablated["total_ios"],
+            full["total_ios"],
+            full["report"]["x_xi"] / budget,
+            ablated["x_xi"] / budget,
+            ablated["triangles"] == full["triangles"],
         )
     table.add_note(
         "the ablated variant is still correct (it enumerates the same triangles), but on the "
@@ -90,3 +101,8 @@ def run(quick: bool = True) -> Table:
         "fixed sort(E) cost per high-degree vertex (included in 'full total I/O')"
     )
     return table
+
+
+def run(quick: bool = True) -> Table:
+    """Run the ablation serially (legacy entry point)."""
+    return tabulate(execute_specs(specs(quick)), quick=quick)

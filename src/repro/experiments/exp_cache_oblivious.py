@@ -10,11 +10,10 @@ multilevel LRU cache (Frigo et al.).
 
 from __future__ import annotations
 
-from repro.analysis.model import MachineParams
 from repro.analysis.verification import fit_power_law
-from repro.experiments.runner import run_on_edges
+from repro.experiments.parallel import ResultSet, execute_specs
+from repro.experiments.specs import RunSpec, make_spec, workload_ref
 from repro.experiments.tables import Table
-from repro.experiments.workloads import sparse_random
 
 EXPERIMENT_ID = "EXP3"
 TITLE = "Cache-oblivious algorithm: I/O scaling under LRU simulation"
@@ -28,11 +27,48 @@ FULL_MEMORIES = (128, 256, 512, 1024)
 BASE_MEMORY = 256
 
 
-def run(quick: bool = True) -> list[Table]:
-    """Run both sweeps; returns the E-sweep and M-sweep tables."""
+def _spec(num_edges: int, algorithm: str, memory: int) -> RunSpec:
+    return make_spec(
+        "edges",
+        workload=workload_ref("sparse_random", num_edges=num_edges),
+        algorithm=algorithm,
+        memory=memory,
+        block=BLOCK_WORDS,
+        seed=3,
+    )
+
+
+def _e_cells(quick: bool) -> list[tuple[int, dict[str, RunSpec]]]:
+    edge_counts = QUICK_EDGE_COUNTS if quick else FULL_EDGE_COUNTS
+    return [
+        (
+            num_edges,
+            {
+                "cache_oblivious": _spec(num_edges, "cache_oblivious", BASE_MEMORY),
+                "cache_aware": _spec(num_edges, "cache_aware", BASE_MEMORY),
+            },
+        )
+        for num_edges in edge_counts
+    ]
+
+
+def _m_cells(quick: bool) -> list[tuple[int, RunSpec]]:
     edge_counts = QUICK_EDGE_COUNTS if quick else FULL_EDGE_COUNTS
     memories = QUICK_MEMORIES if quick else FULL_MEMORIES
+    return [
+        (memory, _spec(edge_counts[-1], "cache_oblivious", memory)) for memory in memories
+    ]
 
+
+def specs(quick: bool = True) -> list[RunSpec]:
+    """The flat list of independent run specs of this experiment."""
+    flat = [spec for _, cell in _e_cells(quick) for spec in cell.values()]
+    flat.extend(spec for _, spec in _m_cells(quick))
+    return flat
+
+
+def tabulate(results: ResultSet, quick: bool = True) -> list[Table]:
+    """Rebuild both sweeps' tables from executed (or stored) cells."""
     e_table = Table(
         experiment_id=EXPERIMENT_ID,
         title=TITLE + " (E sweep)",
@@ -41,19 +77,17 @@ def run(quick: bool = True) -> list[Table]:
     )
     co_series: list[float] = []
     swept: list[int] = []
-    for num_edges in edge_counts:
-        workload = sparse_random(num_edges)
-        params = MachineParams(memory_words=BASE_MEMORY, block_words=BLOCK_WORDS)
-        oblivious = run_on_edges(workload.edges, "cache_oblivious", params, seed=3)
-        aware = run_on_edges(workload.edges, "cache_aware", params, seed=3)
-        co_series.append(oblivious.total_ios)
-        swept.append(workload.num_edges)
+    for _, cell in _e_cells(quick):
+        oblivious = results[cell["cache_oblivious"]]
+        aware = results[cell["cache_aware"]]
+        co_series.append(oblivious["total_ios"])
+        swept.append(oblivious["num_edges"])
         e_table.add_row(
-            workload.num_edges,
-            oblivious.triangles,
-            oblivious.total_ios,
-            aware.total_ios,
-            oblivious.total_ios / max(1, aware.total_ios),
+            oblivious["num_edges"],
+            oblivious["triangles"],
+            oblivious["total_ios"],
+            aware["total_ios"],
+            oblivious["total_ios"] / max(1, aware["total_ios"]),
         )
     fit = fit_power_law(swept, co_series)
     e_table.add_note(
@@ -67,20 +101,25 @@ def run(quick: bool = True) -> list[Table]:
         claim="Q(E, M, B) decreases ~M^-1/2 and Q(E, M, B) / Q(E, 2M, B) stays bounded",
         headers=("M", "cache_oblivious", "Q(M)/Q(2M)"),
     )
-    workload = sparse_random(edge_counts[-1])
-    totals: list[float] = []
-    for memory in memories:
-        params = MachineParams(memory_words=memory, block_words=BLOCK_WORDS)
-        result = run_on_edges(workload.edges, "cache_oblivious", params, seed=3)
-        totals.append(result.total_ios)
+    m_cells = _m_cells(quick)
+    memories = [memory for memory, _ in m_cells]
+    totals = [results[spec]["total_ios"] for _, spec in m_cells]
+    num_edges = results[m_cells[0][1]]["num_edges"]
     for index, memory in enumerate(memories):
-        ratio = totals[index] / totals[index + 1] if index + 1 < len(totals) else float("nan")
-        m_table.add_row(memory, totals[index], ratio if index + 1 < len(totals) else "-")
-    m_fit = fit_power_law(list(memories), totals)
+        if index + 1 < len(totals):
+            m_table.add_row(memory, totals[index], totals[index] / totals[index + 1])
+        else:
+            m_table.add_row(memory, totals[index], "-")
+    m_fit = fit_power_law(memories, totals)
     m_table.add_note(
         f"log-log slope in M: {m_fit.exponent:.2f} (theory -0.5 asymptotically; at simulable "
         "scales the measured slope is steeper because once a subproblem fits in the LRU cache "
         "its accesses stop costing I/Os entirely)"
     )
-    m_table.add_note(f"E = {workload.num_edges}, B = {BLOCK_WORDS}")
+    m_table.add_note(f"E = {num_edges}, B = {BLOCK_WORDS}")
     return [e_table, m_table]
+
+
+def run(quick: bool = True) -> list[Table]:
+    """Run both sweeps serially (legacy entry point)."""
+    return tabulate(execute_specs(specs(quick)), quick=quick)

@@ -16,9 +16,9 @@ import math
 
 from repro.analysis.bounds import expected_colour_collisions
 from repro.analysis.model import MachineParams
-from repro.experiments.runner import run_on_edges
+from repro.experiments.parallel import ResultSet, execute_specs
+from repro.experiments.specs import RunSpec, make_spec, workload_ref
 from repro.experiments.tables import Table
-from repro.experiments.workloads import dense_random, skewed, sparse_random
 
 EXPERIMENT_ID = "EXP5"
 TITLE = "Colour-coding balance: X_xi against the E*M bound"
@@ -27,17 +27,51 @@ CLAIM = "Random colouring: mean X_xi <= E*M (Lemma 3); greedy deterministic: X_x
 PARAMS = MachineParams(memory_words=128, block_words=16)
 QUICK_SEEDS = tuple(range(5))
 FULL_SEEDS = tuple(range(15))
+WORKLOAD_FAMILIES = ("sparse_random", "dense_random", "skewed")
 
 
-def run(quick: bool = True) -> Table:
-    """Measure X_xi across seeds and workloads; values are in units of E*M."""
+def _cells(quick: bool) -> list[tuple[str, dict]]:
+    """Per workload family: one cache-aware spec per seed plus one greedy."""
     seeds = QUICK_SEEDS if quick else FULL_SEEDS
     edge_target = 1024 if quick else 3072
-    workloads = [
-        sparse_random(edge_target),
-        dense_random(edge_target),
-        skewed(edge_target),
-    ]
+    cells: list[tuple[str, dict]] = []
+    for family in WORKLOAD_FAMILIES:
+        reference = workload_ref(family, num_edges=edge_target)
+        random_specs = [
+            make_spec(
+                "edges",
+                workload=reference,
+                algorithm="cache_aware",
+                memory=PARAMS.memory_words,
+                block=PARAMS.block_words,
+                seed=seed,
+            )
+            for seed in seeds
+        ]
+        deterministic = make_spec(
+            "edges",
+            workload=reference,
+            algorithm="deterministic",
+            memory=PARAMS.memory_words,
+            block=PARAMS.block_words,
+            seed=0,
+            options={"max_family_size": 64},
+        )
+        cells.append((family, {"random": random_specs, "deterministic": deterministic}))
+    return cells
+
+
+def specs(quick: bool = True) -> list[RunSpec]:
+    """The flat list of independent run specs of this experiment."""
+    flat: list[RunSpec] = []
+    for _, cell in _cells(quick):
+        flat.extend(cell["random"])
+        flat.append(cell["deterministic"])
+    return flat
+
+
+def tabulate(results: ResultSet, quick: bool = True) -> Table:
+    """Rebuild the result table from executed (or stored) cells."""
     table = Table(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -52,26 +86,20 @@ def run(quick: bool = True) -> Table:
             "certified",
         ),
     )
-    for workload in workloads:
-        bound = expected_colour_collisions(workload.num_edges, PARAMS.memory_words)
-        normalised: list[float] = []
-        colours = None
-        for seed in seeds:
-            result = run_on_edges(workload.edges, "cache_aware", PARAMS, seed=seed)
-            normalised.append(result.report.x_xi / bound)
-            colours = result.report.num_colors
-        deterministic = run_on_edges(
-            workload.edges, "deterministic", PARAMS, max_family_size=64
-        )
-        det_normalised = deterministic.report.x_xi / bound
+    for _, cell in _cells(quick):
+        random_results = [results[spec] for spec in cell["random"]]
+        deterministic = results[cell["deterministic"]]
+        num_edges = random_results[0]["num_edges"]
+        bound = expected_colour_collisions(num_edges, PARAMS.memory_words)
+        normalised = [result["report"]["x_xi"] / bound for result in random_results]
         table.add_row(
-            workload.name,
-            workload.num_edges,
-            colours,
+            random_results[0]["workload"],
+            num_edges,
+            random_results[0]["report"]["num_colors"],
             sum(normalised) / len(normalised),
             max(normalised),
-            det_normalised,
-            deterministic.report.certified,
+            deterministic["report"]["x_xi"] / bound,
+            deterministic["report"]["certified"],
         )
     table.add_note(
         f"bound is E*M with M={PARAMS.memory_words}; Lemma 3 guarantees the mean of the "
@@ -79,3 +107,8 @@ def run(quick: bool = True) -> Table:
         f"= {math.e:.2f}"
     )
     return table
+
+
+def run(quick: bool = True) -> Table:
+    """Run the seed sweep serially (legacy entry point)."""
+    return tabulate(execute_specs(specs(quick)), quick=quick)

@@ -14,9 +14,9 @@ from __future__ import annotations
 from repro.analysis.bounds import cache_aware_io, dementiev_io, hu_tao_chung_io
 from repro.analysis.model import MachineParams
 from repro.analysis.verification import fit_power_law
-from repro.experiments.runner import run_on_edges
+from repro.experiments.parallel import ResultSet, execute_specs
+from repro.experiments.specs import RunSpec, make_spec, workload_ref
 from repro.experiments.tables import Table
-from repro.experiments.workloads import sparse_random
 
 EXPERIMENT_ID = "EXP1"
 TITLE = "I/O versus number of edges E (fixed M, B)"
@@ -26,16 +26,54 @@ CLAIM = (
 )
 
 PARAMS = MachineParams(memory_words=256, block_words=16)
+MEMORY_WORDS = PARAMS.memory_words
+BLOCK_WORDS = PARAMS.block_words
 QUICK_EDGE_COUNTS = (512, 1024, 2048)
 FULL_EDGE_COUNTS = (512, 1024, 2048, 4096, 8192)
 #: The cubic baseline is only run on the smaller inputs (it is the point of
 #: the experiment that it becomes untenable).
 BNLJ_LIMIT = 2048
+ALGORITHMS = ("cache_aware", "deterministic", "hu_tao_chung", "dementiev")
 
 
-def run(quick: bool = True) -> Table:
-    """Run the sweep and return the result table."""
+def _cells(quick: bool) -> list[tuple[int, dict[str, RunSpec]]]:
+    """One cell dictionary (algorithm -> spec) per swept edge count."""
     edge_counts = QUICK_EDGE_COUNTS if quick else FULL_EDGE_COUNTS
+    cells: list[tuple[int, dict[str, RunSpec]]] = []
+    for num_edges in edge_counts:
+        reference = workload_ref("sparse_random", num_edges=num_edges)
+        cell = {
+            algorithm: make_spec(
+                "edges",
+                workload=reference,
+                algorithm=algorithm,
+                memory=MEMORY_WORDS,
+                block=BLOCK_WORDS,
+                seed=1,
+            )
+            for algorithm in ALGORITHMS
+        }
+        if num_edges <= BNLJ_LIMIT:
+            cell["bnlj"] = make_spec(
+                "edges",
+                workload=reference,
+                algorithm="bnlj",
+                memory=MEMORY_WORDS,
+                block=BLOCK_WORDS,
+                seed=1,
+            )
+        cells.append((num_edges, cell))
+    return cells
+
+
+def specs(quick: bool = True) -> list[RunSpec]:
+    """The flat list of independent run specs of this experiment."""
+    return [spec for _, cell in _cells(quick) for spec in cell.values()]
+
+
+def tabulate(results: ResultSet, quick: bool = True) -> Table:
+    """Rebuild the result table from executed (or stored) cells."""
+    params = PARAMS
     table = Table(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -56,33 +94,25 @@ def run(quick: bool = True) -> Table:
     measured: dict[str, list[float]] = {"cache_aware": [], "hu_tao_chung": [], "bnlj": []}
     swept_edges: list[int] = []
     bnlj_edges: list[int] = []
-    for num_edges in edge_counts:
-        workload = sparse_random(num_edges)
-        row: dict[str, float | str] = {}
-        for algorithm in ("cache_aware", "deterministic", "hu_tao_chung", "dementiev"):
-            result = run_on_edges(workload.edges, algorithm, PARAMS, seed=1)
-            row[algorithm] = result.total_ios
-            triangles = result.triangles
-        if num_edges <= BNLJ_LIMIT:
-            bnlj_result = run_on_edges(workload.edges, "bnlj", PARAMS, seed=1)
-            row["bnlj"] = bnlj_result.total_ios
-            measured["bnlj"].append(bnlj_result.total_ios)
-            bnlj_edges.append(workload.num_edges)
-        else:
-            row["bnlj"] = "-"
-        swept_edges.append(workload.num_edges)
-        measured["cache_aware"].append(float(row["cache_aware"]))
-        measured["hu_tao_chung"].append(float(row["hu_tao_chung"]))
+    for _, cell in _cells(quick):
+        row = {algorithm: results[spec] for algorithm, spec in cell.items()}
+        num_edges = row["cache_aware"]["num_edges"]
+        swept_edges.append(num_edges)
+        measured["cache_aware"].append(float(row["cache_aware"]["total_ios"]))
+        measured["hu_tao_chung"].append(float(row["hu_tao_chung"]["total_ios"]))
+        if "bnlj" in row:
+            measured["bnlj"].append(float(row["bnlj"]["total_ios"]))
+            bnlj_edges.append(num_edges)
         table.add_row(
-            workload.num_edges,
-            triangles,
-            row["cache_aware"],
-            row["deterministic"],
-            row["hu_tao_chung"],
-            row["dementiev"],
-            row["bnlj"],
-            round(cache_aware_io(workload.num_edges, PARAMS)),
-            round(hu_tao_chung_io(workload.num_edges, PARAMS)),
+            num_edges,
+            row["cache_aware"]["triangles"],
+            row["cache_aware"]["total_ios"],
+            row["deterministic"]["total_ios"],
+            row["hu_tao_chung"]["total_ios"],
+            row["dementiev"]["total_ios"],
+            row["bnlj"]["total_ios"] if "bnlj" in row else "-",
+            round(cache_aware_io(num_edges, params)),
+            round(hu_tao_chung_io(num_edges, params)),
         )
 
     ours_fit = fit_power_law(swept_edges, measured["cache_aware"])
@@ -95,7 +125,12 @@ def run(quick: bool = True) -> Table:
         bnlj_fit = fit_power_law(bnlj_edges, measured["bnlj"])
         table.add_note(f"log-log slope: bnlj {bnlj_fit.exponent:.2f} (theory 3.0)")
     table.add_note(
-        f"machine: M={PARAMS.memory_words}, B={PARAMS.block_words}; "
-        f"Dementiev prediction at the largest E: {round(dementiev_io(swept_edges[-1], PARAMS))}"
+        f"machine: M={MEMORY_WORDS}, B={BLOCK_WORDS}; "
+        f"Dementiev prediction at the largest E: {round(dementiev_io(swept_edges[-1], params))}"
     )
     return table
+
+
+def run(quick: bool = True) -> Table:
+    """Run the sweep serially (legacy entry point) and return the table."""
+    return tabulate(execute_specs(specs(quick)), quick=quick)

@@ -10,11 +10,9 @@ only competitive when the edge set almost fits in memory).
 from __future__ import annotations
 
 from repro.analysis.model import MachineParams
+from repro.experiments.parallel import ResultSet, execute_specs
+from repro.experiments.specs import RunSpec, make_spec
 from repro.experiments.tables import Table
-from repro.experiments.workloads import join_instance
-from repro.joins.fifth_normal_form import reconstruct_by_joins
-from repro.joins.relation import Relation
-from repro.joins.triangle_join import triangle_join
 
 EXPERIMENT_ID = "EXP8"
 TITLE = "3-way cyclic join: triangle enumeration versus nested-loop join plan"
@@ -26,16 +24,34 @@ FULL_PART_SIZES = (12, 20, 32, 48)
 PAIR_PROBABILITY = 0.35
 
 
-def _relations(instance) -> tuple[Relation, Relation, Relation]:
-    sb = Relation("SB", ("salesperson", "brand"), instance.sells_pairs)
-    bt = Relation("BT", ("brand", "productType"), instance.brand_type_pairs)
-    st = Relation("ST", ("salesperson", "productType"), instance.sells_types)
-    return sb, bt, st
-
-
-def run(quick: bool = True) -> Table:
-    """Run the join comparison and return the result table."""
+def _cells(quick: bool) -> list[tuple[int, dict[str, RunSpec]]]:
     part_sizes = QUICK_PART_SIZES if quick else FULL_PART_SIZES
+    cells: list[tuple[int, dict[str, RunSpec]]] = []
+    for part in part_sizes:
+        cell = {
+            algorithm: make_spec(
+                "join",
+                part=part,
+                pair_probability=PAIR_PROBABILITY,
+                algorithm=algorithm,
+                memory=PARAMS.memory_words,
+                block=PARAMS.block_words,
+                seed=0,
+                check=(algorithm == "cache_aware"),
+            )
+            for algorithm in ("cache_aware", "hu_tao_chung", "bnlj")
+        }
+        cells.append((part, cell))
+    return cells
+
+
+def specs(quick: bool = True) -> list[RunSpec]:
+    """The flat list of independent run specs of this experiment."""
+    return [spec for _, cell in _cells(quick) for spec in cell.values()]
+
+
+def tabulate(results: ResultSet, quick: bool = True) -> Table:
+    """Rebuild the result table from executed (or stored) cells."""
     table = Table(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -50,23 +66,18 @@ def run(quick: bool = True) -> Table:
             "correct",
         ),
     )
-    for part in part_sizes:
-        instance = join_instance(part, pair_probability=PAIR_PROBABILITY)
-        sb, bt, st = _relations(instance)
-        expected = reconstruct_by_joins(sb, bt, st)
-
-        ours_relation, ours = triangle_join(sb, bt, st, algorithm="cache_aware", params=PARAMS)
-        _, htc = triangle_join(sb, bt, st, algorithm="hu_tao_chung", params=PARAMS)
-        _, bnlj = triangle_join(sb, bt, st, algorithm="bnlj", params=PARAMS)
-
+    for part, cell in _cells(quick):
+        ours = results[cell["cache_aware"]]
+        htc = results[cell["hu_tao_chung"]]
+        bnlj = results[cell["bnlj"]]
         table.add_row(
             part,
-            ours.num_edges,
-            len(ours_relation),
-            ours.io.total,
-            htc.io.total,
-            bnlj.io.total,
-            ours_relation.rows() == expected.rows(),
+            ours["num_edges"],
+            ours["join_tuples"],
+            ours["total_ios"],
+            htc["total_ios"],
+            bnlj["total_ios"],
+            ours["correct"],
         )
     table.add_note(
         "'correct' checks the triangle-join output against the relational natural join "
@@ -74,3 +85,8 @@ def run(quick: bool = True) -> Table:
     )
     table.add_note(f"machine: M={PARAMS.memory_words}, B={PARAMS.block_words}")
     return table
+
+
+def run(quick: bool = True) -> Table:
+    """Run the join comparison serially (legacy entry point)."""
+    return tabulate(execute_specs(specs(quick)), quick=quick)

@@ -12,12 +12,9 @@ from __future__ import annotations
 
 from repro.analysis.model import MachineParams
 from repro.analysis.verification import fit_power_law
-from repro.core.kclique import CountingCliqueSink, cache_aware_kclique
+from repro.experiments.parallel import ResultSet, execute_specs
+from repro.experiments.specs import RunSpec, make_spec, workload_ref
 from repro.experiments.tables import Table
-from repro.experiments.workloads import dense_random
-from repro.extmem.machine import Machine
-from repro.extmem.stats import IOStats
-from repro.graph.io import edges_to_file
 
 EXPERIMENT_ID = "EXP11"
 TITLE = "Extension: k-clique enumeration via colour coding"
@@ -29,9 +26,34 @@ FULL_EDGE_COUNTS = (512, 1024, 2048)
 CLIQUE_SIZES = (3, 4)
 
 
-def run(quick: bool = True) -> Table:
-    """Run the k-clique sweep and return the result table."""
+def _cells(quick: bool) -> list[tuple[int, dict[int, RunSpec]]]:
     edge_counts = QUICK_EDGE_COUNTS if quick else FULL_EDGE_COUNTS
+    return [
+        (
+            num_edges,
+            {
+                k: make_spec(
+                    "kclique",
+                    workload=workload_ref("dense_random", num_edges=num_edges),
+                    k=k,
+                    memory=PARAMS.memory_words,
+                    block=PARAMS.block_words,
+                    seed=11,
+                )
+                for k in CLIQUE_SIZES
+            },
+        )
+        for num_edges in edge_counts
+    ]
+
+
+def specs(quick: bool = True) -> list[RunSpec]:
+    """The flat list of independent run specs of this experiment."""
+    return [spec for _, cell in _cells(quick) for spec in cell.values()]
+
+
+def tabulate(results: ResultSet, quick: bool = True) -> Table:
+    """Rebuild the result table from executed (or stored) cells."""
     table = Table(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -39,22 +61,18 @@ def run(quick: bool = True) -> Table:
         headers=("E", "k", "cliques", "I/Os", "subproblems", "refined"),
     )
     series: dict[int, tuple[list[int], list[float]]] = {k: ([], []) for k in CLIQUE_SIZES}
-    for num_edges in edge_counts:
-        workload = dense_random(num_edges)
+    for _, cell in _cells(quick):
         for k in CLIQUE_SIZES:
-            machine = Machine(PARAMS, IOStats())
-            edge_file = edges_to_file(machine, workload.edges)
-            sink = CountingCliqueSink()
-            report = cache_aware_kclique(machine, edge_file, k, sink, seed=11)
-            series[k][0].append(workload.num_edges)
-            series[k][1].append(machine.stats.total)
+            result = results[cell[k]]
+            series[k][0].append(result["num_edges"])
+            series[k][1].append(result["total_ios"])
             table.add_row(
-                workload.num_edges,
+                result["num_edges"],
                 k,
-                sink.count,
-                machine.stats.total,
-                report.subproblems_solved,
-                report.subproblems_refined,
+                result["cliques"],
+                result["total_ios"],
+                result["report"]["subproblems_solved"],
+                result["report"]["subproblems_refined"],
             )
     for k in CLIQUE_SIZES:
         fit = fit_power_law(*series[k])
@@ -65,3 +83,8 @@ def run(quick: bool = True) -> Table:
         )
     table.add_note(f"machine: M={PARAMS.memory_words}, B={PARAMS.block_words}; dense random graphs")
     return table
+
+
+def run(quick: bool = True) -> Table:
+    """Run the k-clique sweep serially (legacy entry point)."""
+    return tabulate(execute_specs(specs(quick)), quick=quick)

@@ -15,9 +15,9 @@ import math
 from repro.analysis.bounds import lower_bound_io
 from repro.analysis.model import MachineParams
 from repro.analysis.verification import bounded_ratio_band
-from repro.experiments.runner import run_on_edges
+from repro.experiments.parallel import ResultSet, execute_specs
+from repro.experiments.specs import RunSpec, make_spec, workload_ref
 from repro.experiments.tables import Table
-from repro.experiments.workloads import clique_workload
 
 EXPERIMENT_ID = "EXP4"
 TITLE = "Measured I/Os versus the Theorem 3 lower bound (cliques)"
@@ -28,9 +28,31 @@ QUICK_CLIQUES = (16, 24, 32)
 FULL_CLIQUES = (16, 24, 32, 48, 64)
 
 
-def run(quick: bool = True) -> Table:
-    """Run the clique sweep and return the result table."""
+def _cells(quick: bool) -> list[tuple[int, RunSpec]]:
     sizes = QUICK_CLIQUES if quick else FULL_CLIQUES
+    return [
+        (
+            size,
+            make_spec(
+                "edges",
+                workload=workload_ref("clique", num_vertices=size),
+                algorithm="cache_aware",
+                memory=PARAMS.memory_words,
+                block=PARAMS.block_words,
+                seed=4,
+            ),
+        )
+        for size in sizes
+    ]
+
+
+def specs(quick: bool = True) -> list[RunSpec]:
+    """The flat list of independent run specs of this experiment."""
+    return [spec for _, spec in _cells(quick)]
+
+
+def tabulate(results: ResultSet, quick: bool = True) -> Table:
+    """Rebuild the result table from executed (or stored) cells."""
     table = Table(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -38,17 +60,23 @@ def run(quick: bool = True) -> Table:
         headers=("clique n", "E", "t", "cache_aware I/O", "lower bound", "ratio"),
     )
     ratios: list[float] = []
-    for size in sizes:
-        workload = clique_workload(size)
-        result = run_on_edges(workload.edges, "cache_aware", PARAMS, seed=4)
+    for size, spec in _cells(quick):
+        result = results[spec]
         triangles = math.comb(size, 3)
         bound = lower_bound_io(triangles, PARAMS)
-        ratio = result.total_ios / bound
+        ratio = result["total_ios"] / bound
         ratios.append(ratio)
-        table.add_row(size, workload.num_edges, triangles, result.total_ios, round(bound, 1), ratio)
+        table.add_row(
+            size, result["num_edges"], triangles, result["total_ios"], round(bound, 1), ratio
+        )
     table.add_note(
         f"ratio band (max/min) across the sweep: {bounded_ratio_band(ratios):.2f} "
         "(a bounded band means the algorithm tracks the lower bound up to a constant)"
     )
     table.add_note(f"machine: M={PARAMS.memory_words}, B={PARAMS.block_words}")
     return table
+
+
+def run(quick: bool = True) -> Table:
+    """Run the clique sweep serially (legacy entry point)."""
+    return tabulate(execute_specs(specs(quick)), quick=quick)

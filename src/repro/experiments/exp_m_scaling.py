@@ -9,11 +9,10 @@ a log-log plot of I/Os against M the slopes should be about -0.5 and -1.
 from __future__ import annotations
 
 from repro.analysis.bounds import improvement_factor
-from repro.analysis.model import MachineParams
 from repro.analysis.verification import fit_power_law
-from repro.experiments.runner import run_on_edges
+from repro.experiments.parallel import ResultSet, execute_specs
+from repro.experiments.specs import RunSpec, make_spec, workload_ref
 from repro.experiments.tables import Table
-from repro.experiments.workloads import sparse_random
 
 EXPERIMENT_ID = "EXP2"
 TITLE = "I/O versus internal memory M (fixed E, B)"
@@ -26,39 +25,71 @@ QUICK_MEMORIES = (64, 128, 256)
 FULL_MEMORIES = (64, 128, 256, 512, 1024)
 
 
-def run(quick: bool = True) -> Table:
-    """Run the sweep and return the result table."""
+def _cells(quick: bool) -> list[tuple[int, dict[str, RunSpec]]]:
     num_edges = QUICK_EDGES if quick else FULL_EDGES
+    reference = workload_ref("sparse_random", num_edges=num_edges)
     memories = QUICK_MEMORIES if quick else FULL_MEMORIES
-    workload = sparse_random(num_edges)
+    return [
+        (
+            memory,
+            {
+                algorithm: make_spec(
+                    "edges",
+                    workload=reference,
+                    algorithm=algorithm,
+                    memory=memory,
+                    block=BLOCK_WORDS,
+                    seed=2,
+                )
+                for algorithm in ("cache_aware", "hu_tao_chung")
+            },
+        )
+        for memory in memories
+    ]
 
+
+def specs(quick: bool = True) -> list[RunSpec]:
+    """The flat list of independent run specs of this experiment."""
+    return [spec for _, cell in _cells(quick) for spec in cell.values()]
+
+
+def tabulate(results: ResultSet, quick: bool = True) -> Table:
+    """Rebuild the result table from executed (or stored) cells."""
     table = Table(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
         headers=("M", "cache_aware", "hu_tao_chung", "ratio htc/ours", "paper factor sqrt(E/M)"),
     )
+    memories: list[int] = []
     ours_series: list[float] = []
     htc_series: list[float] = []
-    for memory in memories:
-        params = MachineParams(memory_words=memory, block_words=BLOCK_WORDS)
-        ours = run_on_edges(workload.edges, "cache_aware", params, seed=2)
-        htc = run_on_edges(workload.edges, "hu_tao_chung", params, seed=2)
-        ours_series.append(ours.total_ios)
-        htc_series.append(htc.total_ios)
+    num_edges = 0
+    for memory, cell in _cells(quick):
+        ours = results[cell["cache_aware"]]
+        htc = results[cell["hu_tao_chung"]]
+        num_edges = ours["num_edges"]
+        memories.append(memory)
+        ours_series.append(ours["total_ios"])
+        htc_series.append(htc["total_ios"])
         table.add_row(
             memory,
-            ours.total_ios,
-            htc.total_ios,
-            htc.total_ios / ours.total_ios,
-            improvement_factor(workload.num_edges, memory),
+            ours["total_ios"],
+            htc["total_ios"],
+            htc["total_ios"] / ours["total_ios"],
+            improvement_factor(num_edges, memory),
         )
 
-    ours_fit = fit_power_law(list(memories), ours_series)
-    htc_fit = fit_power_law(list(memories), htc_series)
+    ours_fit = fit_power_law(memories, ours_series)
+    htc_fit = fit_power_law(memories, htc_series)
     table.add_note(
         f"log-log slope in M: cache_aware {ours_fit.exponent:.2f} (theory -0.5), "
         f"hu_tao_chung {htc_fit.exponent:.2f} (theory -1.0)"
     )
-    table.add_note(f"E = {workload.num_edges}, B = {BLOCK_WORDS}")
+    table.add_note(f"E = {num_edges}, B = {BLOCK_WORDS}")
     return table
+
+
+def run(quick: bool = True) -> Table:
+    """Run the sweep serially (legacy entry point) and return the table."""
+    return tabulate(execute_specs(specs(quick)), quick=quick)

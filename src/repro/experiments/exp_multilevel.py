@@ -12,15 +12,9 @@ with the level size.
 
 from __future__ import annotations
 
-from repro.analysis.model import MachineParams
-from repro.core.cache_oblivious import cache_oblivious_randomized
-from repro.core.emit import CountingSink
+from repro.experiments.parallel import ResultSet, execute_specs
+from repro.experiments.specs import RunSpec, make_spec, workload_ref
 from repro.experiments.tables import Table
-from repro.experiments.workloads import sparse_random
-from repro.extmem.multilevel import attach_multilevel
-from repro.extmem.oblivious import ObliviousVM
-from repro.extmem.stats import IOStats
-from repro.graph.io import edges_to_vector
 
 EXPERIMENT_ID = "EXP12"
 TITLE = "Multilevel LRU: per-level I/Os of a single cache-oblivious run"
@@ -36,19 +30,35 @@ FULL_EDGES = 1024
 LEVELS = {"L1": 64, "L2": 256, "L3": 1024, "RAM": 4096}
 
 
-def run(quick: bool = True) -> Table:
-    """Run the multilevel comparison and return the result table."""
-    workload = sparse_random(QUICK_EDGES if quick else FULL_EDGES)
-
-    vm, cache = attach_multilevel(
-        MachineParams(memory_words=max(LEVELS.values()), block_words=BLOCK_WORDS), LEVELS
+def _cells(quick: bool) -> tuple[RunSpec, dict[str, RunSpec]]:
+    """The multilevel replay spec plus one dedicated control spec per level."""
+    reference = workload_ref("sparse_random", num_edges=QUICK_EDGES if quick else FULL_EDGES)
+    replay = make_spec(
+        "multilevel", workload=reference, levels=LEVELS, block=BLOCK_WORDS, seed=12
     )
-    vector = edges_to_vector(vm, workload.edges)
-    sink = CountingSink()
-    cache_oblivious_randomized(vm, vector, sink, seed=12)
-    cache.flush()
-    multilevel_totals = cache.total_by_level()
+    dedicated = {
+        name: make_spec(
+            "oblivious_dedicated",
+            workload=reference,
+            memory=memory,
+            block=BLOCK_WORDS,
+            seed=12,
+        )
+        for name, memory in LEVELS.items()
+    }
+    return replay, dedicated
 
+
+def specs(quick: bool = True) -> list[RunSpec]:
+    """The flat list of independent run specs of this experiment."""
+    replay, dedicated = _cells(quick)
+    return [replay, *dedicated.values()]
+
+
+def tabulate(results: ResultSet, quick: bool = True) -> Table:
+    """Rebuild the result table from executed (or stored) cells."""
+    replay_spec, dedicated_specs = _cells(quick)
+    replay = results[replay_spec]
     table = Table(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -56,19 +66,21 @@ def run(quick: bool = True) -> Table:
         headers=("level", "M (words)", "I/Os (multilevel run)", "I/Os (dedicated run)", "match"),
     )
     for name, memory in LEVELS.items():
-        dedicated_vm = ObliviousVM(MachineParams(memory, BLOCK_WORDS), IOStats())
-        dedicated_vector = edges_to_vector(dedicated_vm, workload.edges)
-        cache_oblivious_randomized(dedicated_vm, dedicated_vector, CountingSink(), seed=12)
-        dedicated_vm.flush()
+        dedicated = results[dedicated_specs[name]]
         table.add_row(
             name,
             memory,
-            multilevel_totals[name],
-            dedicated_vm.stats.total,
-            multilevel_totals[name] == dedicated_vm.stats.total,
+            replay["totals"][name],
+            dedicated["total_ios"],
+            replay["totals"][name] == dedicated["total_ios"],
         )
     table.add_note(
-        f"E = {workload.num_edges}, B = {BLOCK_WORDS}, triangles = {sink.count}; the access "
-        "stream is produced once and every level observes it (inclusive multilevel LRU)"
+        f"E = {replay['num_edges']}, B = {BLOCK_WORDS}, triangles = {replay['triangles']}; "
+        "the access stream is produced once and every level observes it (inclusive multilevel LRU)"
     )
     return table
+
+
+def run(quick: bool = True) -> Table:
+    """Run the multilevel comparison serially (legacy entry point)."""
+    return tabulate(execute_specs(specs(quick)), quick=quick)

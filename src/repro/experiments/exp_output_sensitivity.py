@@ -14,15 +14,9 @@ from __future__ import annotations
 
 from repro.analysis.bounds import lower_bound_io
 from repro.analysis.model import MachineParams
-from repro.experiments.runner import run_on_edges
+from repro.experiments.parallel import ResultSet, execute_specs
+from repro.experiments.specs import RunSpec, make_spec, workload_ref
 from repro.experiments.tables import Table
-from repro.experiments.workloads import (
-    clique_with_edges,
-    planted,
-    sparse_random,
-    triangle_free,
-    tripartite,
-)
 
 EXPERIMENT_ID = "EXP7"
 TITLE = "Output sensitivity: I/O versus number of triangles t at comparable E"
@@ -33,35 +27,56 @@ QUICK_TARGET_EDGES = 600
 FULL_TARGET_EDGES = 1500
 
 
-def run(quick: bool = True) -> Table:
-    """Run the t-sweep at (roughly) constant E and return the result table."""
+def _workload_refs(quick: bool) -> list[list]:
     target = QUICK_TARGET_EDGES if quick else FULL_TARGET_EDGES
     part = max(3, round((target / 3) ** 0.5))
-    workloads = [
-        triangle_free(target),
-        planted(num_triangles=target // 40, filler_edges=target),
-        planted(num_triangles=target // 6, filler_edges=target // 2),
-        sparse_random(target),
-        tripartite(part),
-        clique_with_edges(target),
+    return [
+        workload_ref("triangle_free", num_edges=target),
+        workload_ref("planted", num_triangles=target // 40, filler_edges=target),
+        workload_ref("planted", num_triangles=target // 6, filler_edges=target // 2),
+        workload_ref("sparse_random", num_edges=target),
+        workload_ref("tripartite", part_size=part),
+        workload_ref("clique_with_edges", target_edges=target),
     ]
+
+
+def _cells(quick: bool) -> list[RunSpec]:
+    return [
+        make_spec(
+            "edges",
+            workload=reference,
+            algorithm="cache_aware",
+            memory=PARAMS.memory_words,
+            block=PARAMS.block_words,
+            seed=7,
+        )
+        for reference in _workload_refs(quick)
+    ]
+
+
+def specs(quick: bool = True) -> list[RunSpec]:
+    """The flat list of independent run specs of this experiment."""
+    return _cells(quick)
+
+
+def tabulate(results: ResultSet, quick: bool = True) -> Table:
+    """Rebuild the result table from executed (or stored) cells."""
     table = Table(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
         headers=("workload", "E", "t", "cache_aware I/O", "lower bound", "I/O / bound"),
     )
-    for workload in workloads:
-        result = run_on_edges(workload.edges, "cache_aware", PARAMS, seed=7)
-        bound = lower_bound_io(result.triangles, PARAMS)
-        ratio = result.total_ios / bound if bound > 0 else float("inf")
+    for spec in _cells(quick):
+        result = results[spec]
+        bound = lower_bound_io(result["triangles"], PARAMS)
         table.add_row(
-            workload.name,
-            workload.num_edges,
-            result.triangles,
-            result.total_ios,
+            result["workload"],
+            result["num_edges"],
+            result["triangles"],
+            result["total_ios"],
             round(bound, 1),
-            ratio if bound > 0 else "-",
+            result["total_ios"] / bound if bound > 0 else "-",
         )
     table.add_note(
         "for triangle-poor inputs the E-dependent terms dominate and the gap to the "
@@ -70,3 +85,8 @@ def run(quick: bool = True) -> Table:
     )
     table.add_note(f"machine: M={PARAMS.memory_words}, B={PARAMS.block_words}")
     return table
+
+
+def run(quick: bool = True) -> Table:
+    """Run the t-sweep serially (legacy entry point)."""
+    return tabulate(execute_specs(specs(quick)), quick=quick)

@@ -11,9 +11,9 @@ and the decay ratio between consecutive levels.
 from __future__ import annotations
 
 from repro.analysis.model import MachineParams
-from repro.experiments.runner import run_on_edges
+from repro.experiments.parallel import ResultSet, execute_specs
+from repro.experiments.specs import RunSpec, make_spec, workload_ref
 from repro.experiments.tables import Table
-from repro.experiments.workloads import sparse_random
 
 EXPERIMENT_ID = "EXP6"
 TITLE = "Cache-oblivious recursion: subproblem sizes per level"
@@ -24,11 +24,26 @@ QUICK_EDGES = 768
 FULL_EDGES = 2048
 
 
-def run(quick: bool = True) -> Table:
-    """Run one instrumented cache-oblivious run and tabulate the recursion."""
-    workload = sparse_random(QUICK_EDGES if quick else FULL_EDGES)
-    result = run_on_edges(workload.edges, "cache_oblivious", PARAMS, seed=6)
-    report = result.report
+def _cell(quick: bool) -> RunSpec:
+    return make_spec(
+        "edges",
+        workload=workload_ref("sparse_random", num_edges=QUICK_EDGES if quick else FULL_EDGES),
+        algorithm="cache_oblivious",
+        memory=PARAMS.memory_words,
+        block=PARAMS.block_words,
+        seed=6,
+    )
+
+
+def specs(quick: bool = True) -> list[RunSpec]:
+    """The flat list of independent run specs of this experiment."""
+    return [_cell(quick)]
+
+
+def tabulate(results: ResultSet, quick: bool = True) -> Table:
+    """Rebuild the recursion table from the executed (or stored) cell."""
+    result = results[_cell(quick)]
+    report = result["report"]
 
     table = Table(
         experiment_id=EXPERIMENT_ID,
@@ -37,19 +52,18 @@ def run(quick: bool = True) -> Table:
         headers=("depth", "subproblems", "mean size", "max size", "decay vs previous"),
     )
     previous_mean: float | None = None
-    for depth in sorted(report.subproblem_sizes):
-        sizes = [s for s in report.subproblems_at(depth)]
-        nontrivial = [s for s in sizes if s > 0]
+    sizes_by_depth = report["subproblem_sizes"]
+    for depth in sorted(sizes_by_depth, key=int):
+        nontrivial = [size for size in sizes_by_depth[depth] if size > 0]
         if not nontrivial:
             continue
         mean_size = sum(nontrivial) / len(nontrivial)
-        decay = mean_size / previous_mean if previous_mean else float("nan")
         table.add_row(
-            depth,
+            int(depth),
             len(nontrivial),
             mean_size,
             max(nontrivial),
-            decay if previous_mean else "-",
+            mean_size / previous_mean if previous_mean else "-",
         )
         previous_mean = mean_size
     table.add_note(
@@ -57,7 +71,12 @@ def run(quick: bool = True) -> Table:
         "expected decay is about 1/2, from level 2 onwards it approaches the 1/4 rate of Lemma 4"
     )
     table.add_note(
-        f"E = {workload.num_edges}, base cases invoked: {report.base_case_invocations}, "
-        f"local high-degree removals: {report.local_high_degree_processed}"
+        f"E = {result['num_edges']}, base cases invoked: {report['base_case_invocations']}, "
+        f"local high-degree removals: {report['local_high_degree_processed']}"
     )
     return table
+
+
+def run(quick: bool = True) -> Table:
+    """Run the instrumented cache-oblivious run serially (legacy entry point)."""
+    return tabulate(execute_specs(specs(quick)), quick=quick)

@@ -12,9 +12,9 @@ from __future__ import annotations
 from repro.analysis.bounds import work_upper_bound
 from repro.analysis.model import MachineParams
 from repro.analysis.verification import fit_power_law
-from repro.experiments.runner import run_on_edges
+from repro.experiments.parallel import ResultSet, execute_specs
+from repro.experiments.specs import RunSpec, make_spec, workload_ref
 from repro.experiments.tables import Table
-from repro.experiments.workloads import sparse_random
 
 EXPERIMENT_ID = "EXP9"
 TITLE = "Work (RAM operations) versus E"
@@ -26,9 +26,34 @@ FULL_EDGE_COUNTS = (512, 1024, 2048, 4096)
 ALGORITHMS = ("cache_aware", "hu_tao_chung", "dementiev")
 
 
-def run(quick: bool = True) -> Table:
-    """Run the work sweep and return the result table."""
+def _cells(quick: bool) -> list[tuple[int, dict[str, RunSpec]]]:
     edge_counts = QUICK_EDGE_COUNTS if quick else FULL_EDGE_COUNTS
+    return [
+        (
+            num_edges,
+            {
+                algorithm: make_spec(
+                    "edges",
+                    workload=workload_ref("sparse_random", num_edges=num_edges),
+                    algorithm=algorithm,
+                    memory=PARAMS.memory_words,
+                    block=PARAMS.block_words,
+                    seed=9,
+                )
+                for algorithm in ALGORITHMS
+            },
+        )
+        for num_edges in edge_counts
+    ]
+
+
+def specs(quick: bool = True) -> list[RunSpec]:
+    """The flat list of independent run specs of this experiment."""
+    return [spec for _, cell in _cells(quick) for spec in cell.values()]
+
+
+def tabulate(results: ResultSet, quick: bool = True) -> Table:
+    """Rebuild the result table from executed (or stored) cells."""
     table = Table(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -38,17 +63,22 @@ def run(quick: bool = True) -> Table:
     per_algorithm: dict[str, tuple[list[int], list[float]]] = {
         name: ([], []) for name in ALGORITHMS
     }
-    for num_edges in edge_counts:
-        workload = sparse_random(num_edges)
+    for _, cell in _cells(quick):
         for algorithm in ALGORITHMS:
-            result = run_on_edges(workload.edges, algorithm, PARAMS, seed=9)
-            normalised = result.operations / work_upper_bound(workload.num_edges)
-            per_algorithm[algorithm][0].append(workload.num_edges)
-            per_algorithm[algorithm][1].append(result.operations)
-            table.add_row(workload.num_edges, algorithm, result.operations, normalised)
+            result = results[cell[algorithm]]
+            num_edges = result["num_edges"]
+            normalised = result["operations"] / work_upper_bound(num_edges)
+            per_algorithm[algorithm][0].append(num_edges)
+            per_algorithm[algorithm][1].append(result["operations"])
+            table.add_row(num_edges, algorithm, result["operations"], normalised)
     for algorithm, (xs, ys) in per_algorithm.items():
         fit = fit_power_law(xs, ys)
         table.add_note(
             f"{algorithm}: log-log work slope {fit.exponent:.2f} (work-optimal means <= 1.5)"
         )
     return table
+
+
+def run(quick: bool = True) -> Table:
+    """Run the work sweep serially (legacy entry point)."""
+    return tabulate(execute_specs(specs(quick)), quick=quick)

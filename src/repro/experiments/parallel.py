@@ -1,0 +1,164 @@
+"""The parallel experiment orchestrator.
+
+:class:`ParallelRunner` takes a flat list of :class:`RunSpec` cells --
+produced by the experiment modules' ``specs()`` hooks -- deduplicates them
+by content address, satisfies what it can from the artifact store, and
+executes the rest either serially (``jobs=1``) or across a
+``multiprocessing`` worker pool.  Results are keyed by spec hash in a
+:class:`ResultSet`, which the modules' ``tabulate()`` hooks index by spec to
+re-render their tables.
+
+Determinism: a spec's payload contains every seed the task needs, and each
+task builds its own workload and simulated machine from scratch, so results
+are bit-identical no matter which process executes a cell or in which order
+cells finish.  The pool uses the ``spawn`` start method for identical
+behaviour across platforms.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.exceptions import ReproError
+from repro.experiments.specs import RunSpec
+from repro.experiments.store import ResultStore
+from repro.experiments.tasks import execute_spec
+
+
+class SpecExecutionError(ReproError):
+    """Raised when a tabulate hook asks for a cell whose run failed."""
+
+
+class ResultSet:
+    """Results of an orchestrated run, indexable by :class:`RunSpec`."""
+
+    def __init__(
+        self,
+        results: dict[str, dict[str, Any]],
+        errors: dict[str, str] | None = None,
+        executed: int = 0,
+        cached: int = 0,
+    ) -> None:
+        self._results = results
+        self._errors = errors or {}
+        self.executed = executed
+        self.cached = cached
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return spec.spec_hash in self._results
+
+    def __getitem__(self, spec: RunSpec) -> dict[str, Any]:
+        key = spec.spec_hash
+        if key in self._results:
+            return self._results[key]
+        if key in self._errors:
+            raise SpecExecutionError(
+                f"run {spec.describe()} ({key}) failed:\n{self._errors[key]}"
+            )
+        raise KeyError(f"no result for spec {spec.describe()} ({key})")
+
+    def get(self, spec: RunSpec, default: dict[str, Any] | None = None) -> dict[str, Any] | None:
+        """The result for ``spec``, or ``default`` when missing or failed."""
+        return self._results.get(spec.spec_hash, default)
+
+    @property
+    def errors(self) -> dict[str, str]:
+        """Spec hash -> traceback text for every failed cell."""
+        return dict(self._errors)
+
+
+def _execute_for_pool(spec: RunSpec) -> tuple[str, dict[str, Any] | None, str | None]:
+    """Worker entry point: never raises, returns (hash, result, traceback)."""
+    try:
+        return spec.spec_hash, execute_spec(spec), None
+    except Exception:  # noqa: BLE001 - the traceback is the payload
+        return spec.spec_hash, None, traceback.format_exc()
+
+
+def dedupe_specs(specs: Iterable[RunSpec]) -> list[RunSpec]:
+    """Drop duplicate cells, keeping first-occurrence order."""
+    seen: set[str] = set()
+    unique: list[RunSpec] = []
+    for spec in specs:
+        if spec.spec_hash not in seen:
+            seen.add(spec.spec_hash)
+            unique.append(spec)
+    return unique
+
+
+class ParallelRunner:
+    """Execute run specs across a worker pool, resuming from the store."""
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        jobs: int = 1,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        self.store = store
+        self.jobs = jobs
+        self.progress = progress
+
+    def _report(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def run(self, specs: Sequence[RunSpec]) -> ResultSet:
+        """Run every spec (deduplicated), returning a :class:`ResultSet`."""
+        unique = dedupe_specs(specs)
+        by_hash = {spec.spec_hash: spec for spec in unique}
+        results: dict[str, dict[str, Any]] = {}
+        errors: dict[str, str] = {}
+
+        pending: list[RunSpec] = []
+        for spec in unique:
+            stored = self.store.get(spec) if self.store is not None else None
+            if stored is not None:
+                results[spec.spec_hash] = stored
+            else:
+                pending.append(spec)
+        cached = len(results)
+        if cached:
+            self._report(f"{cached}/{len(unique)} cells already in the store")
+
+        if self.jobs > 1 and len(pending) > 1:
+            outcomes = self._run_pool(pending)
+        else:
+            outcomes = map(_execute_for_pool, pending)
+
+        done = 0
+        for spec_hash, result, error in outcomes:
+            done += 1
+            if error is not None:
+                errors[spec_hash] = error
+                self._report(
+                    f"[{done}/{len(pending)}] FAILED {by_hash[spec_hash].describe()}"
+                )
+                continue
+            results[spec_hash] = result
+            if self.store is not None:
+                self.store.put(by_hash[spec_hash], result)
+            self._report(f"[{done}/{len(pending)}] {by_hash[spec_hash].describe()}")
+
+        return ResultSet(results, errors, executed=len(pending) - len(errors), cached=cached)
+
+    def _run_pool(
+        self, pending: Sequence[RunSpec]
+    ) -> Iterable[tuple[str, dict[str, Any] | None, str | None]]:
+        """Execute ``pending`` on a spawn-based pool, yielding as cells finish."""
+        context = multiprocessing.get_context("spawn")
+        processes = min(self.jobs, len(pending))
+        with context.Pool(processes=processes) as pool:
+            yield from pool.imap_unordered(_execute_for_pool, pending)
+
+
+def execute_specs(specs: Sequence[RunSpec]) -> ResultSet:
+    """Serial, store-less execution (the legacy ``module.run()`` path)."""
+    return ParallelRunner(store=None, jobs=1).run(specs)

@@ -1,42 +1,173 @@
-"""Command-line entry point running every experiment and printing its table.
+"""Command-line entry point orchestrating every experiment.
+
+Each experiment expands into a flat list of independent
+:class:`~repro.experiments.specs.RunSpec` cells; the cells of *all* selected
+experiments are deduplicated and executed together -- serially or across a
+``multiprocessing`` pool (``--jobs N``) -- with every result persisted as a
+JSON artifact in a content-addressed store (``results/<spec_hash>.json``).
+Tables are then re-rendered from the stored artifacts, so a re-run resumes
+from completed cells and does zero new work when nothing changed.
 
 Usage::
 
-    python -m repro.experiments.run_all             # full-size experiments
-    python -m repro.experiments.run_all --quick     # smaller, faster sweeps
-    python -m repro.experiments.run_all EXP1 EXP4   # a subset
+    python -m repro.experiments.run_all                  # full-size experiments
+    python -m repro.experiments.run_all --quick          # smaller, faster sweeps
+    python -m repro.experiments.run_all --quick --jobs 4 # parallel workers
+    python -m repro.experiments.run_all EXP1 EXP4        # a subset
     python -m repro.experiments.run_all --output results.txt
+    python -m repro.experiments.run_all --results-dir results  # artifact store
+
+Besides the rendered tables, a machine-readable summary is written to
+``<results-dir>/results.json`` (override with ``--json``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.experiments.parallel import ParallelRunner, dedupe_specs
 from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.specs import RunSpec
+from repro.experiments.store import DEFAULT_RESULTS_DIR, ResultStore
 from repro.experiments.tables import Table
+
+SUMMARY_SCHEMA = "repro-results/v1"
+
+
+@dataclass
+class ExperimentFailure:
+    """One experiment that raised during spec expansion or tabulation."""
+
+    experiment_id: str
+    stage: str
+    error: str
+
+
+@dataclass
+class RunReport:
+    """Everything one orchestrated suite run produced."""
+
+    tables: list[Table] = field(default_factory=list)
+    failures: list[ExperimentFailure] = field(default_factory=list)
+    total_cells: int = 0
+    executed: int = 0
+    cached: int = 0
+    quick: bool = True
+    jobs: int = 1
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render_tables(self) -> str:
+        return "\n\n".join(table.render() for table in self.tables)
+
+    def footer(self) -> str:
+        return (
+            f"({len(self.tables)} tables in {self.elapsed_seconds:.1f}s, "
+            f"quick={self.quick}, jobs={self.jobs}; "
+            f"cells: {self.total_cells} total, {self.executed} executed, "
+            f"{self.cached} cached)"
+        )
+
+    def summary_dict(self) -> dict:
+        """The ``results.json`` payload."""
+        return {
+            "schema": SUMMARY_SCHEMA,
+            "quick": self.quick,
+            "jobs": self.jobs,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "cells": {
+                "total": self.total_cells,
+                "executed": self.executed,
+                "cached": self.cached,
+            },
+            "experiments": {},
+            "tables": [table.to_dict() for table in self.tables],
+            "failures": [
+                {"experiment_id": f.experiment_id, "stage": f.stage, "error": f.error}
+                for f in self.failures
+            ],
+        }
 
 
 def run_experiments(
-    experiment_ids: Iterable[str] | None = None, quick: bool = True
-) -> list[Table]:
-    """Run the selected experiments (all by default) and return their tables."""
+    experiment_ids: Iterable[str] | None = None,
+    quick: bool = True,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress=None,
+) -> RunReport:
+    """Orchestrate the selected experiments (all by default).
+
+    A failing experiment is recorded in ``report.failures`` instead of
+    aborting the suite; cells belonging only to failed experiments are
+    simply not tabulated.
+    """
+    started = time.perf_counter()
     selected = list(experiment_ids) if experiment_ids else list(EXPERIMENTS)
-    tables: list[Table] = []
+    report = RunReport(quick=quick, jobs=jobs)
+
+    modules = {}
+    spec_lists: dict[str, list[RunSpec]] = {}
     for experiment_id in selected:
         module = get_experiment(experiment_id)
-        outcome = module.run(quick=quick)
+        modules[experiment_id] = module
+        try:
+            spec_lists[experiment_id] = list(module.specs(quick=quick))
+        except Exception:
+            report.failures.append(
+                ExperimentFailure(module.EXPERIMENT_ID, "specs", traceback.format_exc())
+            )
+
+    flat = [spec for specs in spec_lists.values() for spec in specs]
+    report.total_cells = len(dedupe_specs(flat))
+    runner = ParallelRunner(store=store, jobs=jobs, progress=progress)
+    results = runner.run(flat)
+    report.executed = results.executed
+    report.cached = results.cached
+
+    for experiment_id, module in modules.items():
+        if experiment_id not in spec_lists:
+            continue
+        try:
+            outcome = module.tabulate(results, quick=quick)
+        except Exception:
+            report.failures.append(
+                ExperimentFailure(module.EXPERIMENT_ID, "tabulate", traceback.format_exc())
+            )
+            continue
         if isinstance(outcome, Table):
-            tables.append(outcome)
+            report.tables.append(outcome)
         else:
-            tables.extend(outcome)
-    return tables
+            report.tables.extend(outcome)
+
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def write_summary(report: RunReport, path: str | Path) -> None:
+    """Write the machine-readable ``results.json`` summary."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    summary = report.summary_dict()
+    by_experiment: dict[str, list[dict]] = {}
+    for table in summary.pop("tables"):
+        by_experiment.setdefault(table["experiment_id"], []).append(table)
+    summary["experiments"] = by_experiment
+    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code (non-zero on failure)."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the quantitative claims of Pagh & Silvestri (PODS 2014).",
@@ -52,22 +183,76 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="run reduced-size sweeps (a few seconds per experiment)",
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent cells (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default=DEFAULT_RESULTS_DIR,
+        help=f"artifact store directory (default {DEFAULT_RESULTS_DIR!r})",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not read or write the artifact store (always re-execute)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="where to write the results.json summary (default <results-dir>/results.json)",
+    )
+    parser.add_argument(
         "--output",
         help="also write the rendered tables to this file",
     )
+    parser.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="print per-cell progress to stderr",
+    )
     arguments = parser.parse_args(argv)
+    if arguments.jobs < 1:
+        parser.error(f"--jobs must be at least 1, got {arguments.jobs}")
 
-    started = time.perf_counter()
-    tables = run_experiments(arguments.experiments or None, quick=arguments.quick)
-    elapsed = time.perf_counter() - started
+    store = None if arguments.no_store else ResultStore(arguments.results_dir)
+    progress = (lambda message: print(message, file=sys.stderr)) if arguments.verbose else None
 
-    rendered = "\n\n".join(table.render() for table in tables)
-    footer = f"\n\n({len(tables)} tables in {elapsed:.1f}s, quick={arguments.quick})"
-    print(rendered + footer)
+    try:
+        report = run_experiments(
+            arguments.experiments or None,
+            quick=arguments.quick,
+            jobs=arguments.jobs,
+            store=store,
+            progress=progress,
+        )
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    rendered = report.render_tables()
+    print(rendered + "\n\n" + report.footer())
     if arguments.output:
         with open(arguments.output, "w", encoding="utf-8") as handle:
-            handle.write(rendered + footer + "\n")
-    return 0
+            handle.write(rendered + "\n\n" + report.footer() + "\n")
+
+    summary_path = arguments.json
+    if summary_path is None and store is not None:
+        summary_path = Path(arguments.results_dir) / "results.json"
+    if summary_path is not None:
+        write_summary(report, summary_path)
+
+    for failure in report.failures:
+        print(
+            f"error: experiment {failure.experiment_id} failed during {failure.stage}:\n"
+            f"{failure.error}",
+            file=sys.stderr,
+        )
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the CLI

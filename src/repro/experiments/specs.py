@@ -1,0 +1,81 @@
+"""Run specifications: the unit of work of the experiment orchestrator.
+
+A :class:`RunSpec` is a *complete, self-contained* description of one
+independent measurement: which task to execute (a name in
+:data:`repro.experiments.tasks.TASKS`) and a JSON payload of keyword
+arguments for it.  Workloads are referenced by factory name plus arguments
+(see :data:`repro.experiments.workloads.WORKLOAD_FACTORIES`) so a spec never
+holds a graph -- the worker process rebuilds it deterministically from the
+seed baked into the payload.
+
+Because the payload is stored as *canonical* JSON (sorted keys, no
+whitespace), two specs describing the same work compare equal, hash equal,
+and map to the same content address, which is what lets the orchestrator
+
+* deduplicate cells shared between experiments, and
+* resume from the artifact store (``results/<spec_hash>.json``) across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+#: Version tag mixed into every spec hash; bump it when the semantics of a
+#: task change so stale artifacts are not silently reused.
+SPEC_VERSION = "v1"
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialise ``payload`` deterministically (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent run: a task name plus its canonical JSON payload."""
+
+    task: str
+    payload_json: str
+
+    @property
+    def payload(self) -> dict[str, Any]:
+        """The payload as a dictionary (tuples come back as lists)."""
+        return json.loads(self.payload_json)
+
+    @property
+    def spec_hash(self) -> str:
+        """Content address of this spec (first 16 hex digits of SHA-256)."""
+        digest = hashlib.sha256(
+            f"{SPEC_VERSION}\n{self.task}\n{self.payload_json}".encode()
+        )
+        return digest.hexdigest()[:16]
+
+    def describe(self) -> str:
+        """A one-line human-readable summary (used by progress output)."""
+        payload = self.payload
+        workload = payload.get("workload")
+        parts = [self.task]
+        if isinstance(workload, (list, tuple)) and workload:
+            parts.append(str(workload[0]))
+        for key in ("algorithm", "k", "memory", "seed"):
+            if key in payload:
+                parts.append(f"{key}={payload[key]}")
+        return " ".join(parts)
+
+
+def make_spec(task: str, **payload: Any) -> RunSpec:
+    """Build a :class:`RunSpec`, canonicalising the payload.
+
+    The payload must be JSON-serialisable; anything else is a bug in the
+    calling experiment module and raises ``TypeError`` immediately rather
+    than in a worker process.
+    """
+    return RunSpec(task=task, payload_json=canonical_json(payload))
+
+
+def workload_ref(factory: str, **kwargs: Any) -> list[Any]:
+    """A JSON-friendly reference to a registered workload factory."""
+    return [factory, kwargs]

@@ -1,0 +1,91 @@
+"""Content-addressed JSON artifact store for experiment results.
+
+Every completed :class:`repro.experiments.specs.RunSpec` is persisted as
+``<root>/<spec_hash>.json`` so that
+
+* re-running an experiment suite resumes from completed cells (a cell is
+  looked up by content address before it is executed),
+* tables are re-rendered from stored artifacts instead of in-memory state,
+* CI jobs and notebooks can consume the raw counters without re-running
+  anything.
+
+Artifact schema (``repro-run/v1``)::
+
+    {
+      "schema":    "repro-run/v1",
+      "spec_hash": "<16 hex digits>",
+      "task":      "<task name>",
+      "payload":   { ... task keyword arguments ... },
+      "result":    { ... task result dictionary ... }
+    }
+
+Artifacts are written atomically (temp file + rename) and validated on
+read: a corrupt, truncated or mismatching artifact is treated as a cache
+miss, never as an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.specs import RunSpec
+
+ARTIFACT_SCHEMA = "repro-run/v1"
+
+#: Default artifact directory, relative to the current working directory.
+DEFAULT_RESULTS_DIR = "results"
+
+
+class ResultStore:
+    """A directory of ``<spec_hash>.json`` artifacts."""
+
+    def __init__(self, root: str | Path = DEFAULT_RESULTS_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, spec: RunSpec) -> Path:
+        """Where the artifact for ``spec`` lives (whether or not it exists)."""
+        return self.root / f"{spec.spec_hash}.json"
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self.get(spec) is not None
+
+    def get(self, spec: RunSpec) -> dict[str, Any] | None:
+        """The stored result for ``spec``, or ``None`` on any kind of miss."""
+        path = self.path_for(spec)
+        try:
+            artifact = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(artifact, dict):
+            return None
+        if artifact.get("schema") != ARTIFACT_SCHEMA:
+            return None
+        if artifact.get("spec_hash") != spec.spec_hash or artifact.get("task") != spec.task:
+            return None
+        result = artifact.get("result")
+        return result if isinstance(result, dict) else None
+
+    def put(self, spec: RunSpec, result: dict[str, Any]) -> Path:
+        """Persist ``result`` for ``spec`` atomically; returns the path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        artifact = {
+            "schema": ARTIFACT_SCHEMA,
+            "spec_hash": spec.spec_hash,
+            "task": spec.task,
+            "payload": spec.payload,
+            "result": result,
+        }
+        temporary = path.with_suffix(f".tmp{os.getpid()}")
+        temporary.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        os.replace(temporary, path)
+        return path
+
+    def artifact_paths(self) -> list[Path]:
+        """All artifact files currently in the store (sorted for stability)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))

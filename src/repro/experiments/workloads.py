@@ -1,17 +1,31 @@
-"""Named, seeded workload factories shared by experiments and benchmarks."""
+"""Named, seeded workload factories shared by experiments and benchmarks.
+
+Every factory is registered in :data:`WORKLOAD_FACTORIES` under a stable
+name so that a :class:`repro.experiments.specs.RunSpec` can reference a
+workload as ``[factory_name, kwargs]`` and a worker process can rebuild it
+with :func:`build_workload` -- deterministically, because every generator is
+seeded.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
 
+from repro.graph.files import read_edge_list
 from repro.graph.generators import (
     barabasi_albert,
+    chung_lu_power_law,
     clique,
     complete_bipartite,
     complete_tripartite,
     erdos_renyi_gnm,
+    planted_partition,
     planted_triangles,
+    random_bipartite,
     sells_instance,
 )
 from repro.graph.graph import Graph
@@ -116,6 +130,76 @@ def tripartite(part_size: int, seed: int = DEFAULT_SEED) -> Workload:
     )
 
 
+def power_law(num_edges: int, seed: int = DEFAULT_SEED, exponent: float = 2.5) -> Workload:
+    """A Chung-Lu graph with a power-law degree tail (tunable exponent)."""
+    num_vertices = max(4, num_edges // 4)
+    return _canonical(
+        f"powerlaw-{num_edges}",
+        chung_lu_power_law(num_vertices, num_edges, exponent=exponent, seed=seed),
+    )
+
+
+def community(num_edges: int, seed: int = DEFAULT_SEED) -> Workload:
+    """A planted-partition graph: dense communities, sparse cross edges.
+
+    About 80% of the edges land inside communities of 16 vertices, so the
+    workload is triangle-rich and clustered -- the social-network shape
+    missing from the random/clique/skewed trio."""
+    intra = max(1, (num_edges * 4) // 5)
+    inter = max(0, num_edges - intra)
+    size = 16
+    count = max(2, math.ceil(intra / 100))
+    return _canonical(
+        f"community-{num_edges}",
+        planted_partition(count, size, intra, inter, seed=seed),
+    )
+
+
+def bipartite_random(num_edges: int, seed: int = DEFAULT_SEED) -> Workload:
+    """A random (not complete) bipartite graph: triangle-free at any density."""
+    side = max(2, int(math.sqrt(num_edges * 2)) + 1)
+    return _canonical(
+        f"bipartite-random-{num_edges}",
+        random_bipartite(side, side, num_edges, seed=seed),
+    )
+
+
+def file_digest(path: str | Path) -> str:
+    """Content digest of an edge-list file (first 16 hex digits of SHA-256)."""
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()[:16]
+
+
+def from_file(path: str, digest: str | None = None) -> Workload:
+    """Load a SNAP-style whitespace-separated edge-list file as a workload.
+
+    Comment lines starting with ``#`` are ignored and vertex labels may be
+    arbitrary strings; the graph is canonicalised (degree-ordered) exactly
+    like the synthetic workloads.
+
+    ``digest`` pins the expected file contents (see :func:`file_workload_ref`):
+    unlike the synthetic factories, a file workload is not reproducible from
+    its arguments alone, so specs must carry the digest for the artifact
+    store's content addressing to stay honest when the file changes."""
+    if digest is not None:
+        actual = file_digest(path)
+        if actual != digest:
+            raise ValueError(
+                f"{path} has content digest {actual} but the spec pinned {digest}; "
+                "the file changed since the spec was built"
+            )
+    graph = read_edge_list(path)
+    return _canonical(f"file-{Path(path).stem}", graph)
+
+
+def file_workload_ref(path: str | Path) -> list:
+    """A ``from_file`` workload reference that pins the file's content digest.
+
+    Always build file-workload specs through this helper: the digest lands in
+    the spec payload, so editing the file changes every dependent spec hash
+    and the store can never serve results computed from a previous version."""
+    return ["from_file", {"path": str(path), "digest": file_digest(path)}]
+
+
 def join_instance(part_size: int, pair_probability: float = 0.4, seed: int = DEFAULT_SEED):
     """A random ``Sells`` instance for the database-join experiment."""
     return sells_instance(
@@ -125,3 +209,36 @@ def join_instance(part_size: int, pair_probability: float = 0.4, seed: int = DEF
         pair_probability=pair_probability,
         seed=seed,
     )
+
+
+#: Stable names for every workload factory a :class:`RunSpec` may reference.
+WORKLOAD_FACTORIES: dict[str, Callable[..., Workload]] = {
+    "sparse_random": sparse_random,
+    "dense_random": dense_random,
+    "clique": clique_workload,
+    "clique_with_edges": clique_with_edges,
+    "skewed": skewed,
+    "hub": hub,
+    "triangle_free": triangle_free,
+    "planted": planted,
+    "tripartite": tripartite,
+    "power_law": power_law,
+    "community": community,
+    "bipartite_random": bipartite_random,
+    "from_file": from_file,
+}
+
+
+def build_workload(ref: Sequence) -> Workload:
+    """Resolve a ``[factory_name, kwargs]`` reference into a workload."""
+    try:
+        name, kwargs = ref
+    except (TypeError, ValueError) as error:
+        raise ValueError(f"malformed workload reference {ref!r}") from error
+    try:
+        factory = WORKLOAD_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload factory {name!r}; available: {', '.join(WORKLOAD_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -28,7 +28,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.analysis.model import MachineParams
 from repro.exceptions import MemoryExceededError
-from repro.extmem.disk import Disk, ExtFile, FileSlice, Readable, Record
+from repro.extmem.disk import Disk, ExtFile, Readable, Record
 from repro.extmem.stats import IOStats
 
 

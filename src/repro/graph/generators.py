@@ -8,6 +8,9 @@ relevant regimes rather than any particular real-world dataset:
 * cliques -- the triangle-dense extreme (``t = Theta(E^{3/2})``) used by the
   lower-bound and optimality experiments;
 * skewed (preferential-attachment) graphs -- exercise the high-degree phase;
+* power-law (Chung-Lu) graphs -- tunable degree-tail skew;
+* planted-partition (community) graphs -- clustered, triangle-rich structure;
+* random bipartite graphs -- triangle-free at arbitrary density;
 * triangle-free graphs and planted-triangle graphs -- output-sensitivity
   experiments where ``t`` is controlled exactly;
 * tripartite "Sells" instances -- the database join motivation of Section 1.
@@ -17,6 +20,7 @@ All generators are deterministic given a seed.
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass
 
@@ -183,6 +187,150 @@ def planted_triangles(
             chosen.add((u, v))
         for u, v in chosen:
             graph.add_edge(u, v)
+    return graph
+
+
+def chung_lu_power_law(
+    num_vertices: int,
+    num_edges: int,
+    exponent: float = 2.5,
+    seed: int | None = None,
+) -> Graph:
+    """A Chung-Lu random graph whose expected degrees follow a power law.
+
+    Vertex ``i`` gets weight ``(i + 1)^(-1/(exponent - 1))`` and edge
+    endpoints are drawn proportionally to weight, which yields a degree
+    distribution with tail exponent about ``exponent`` -- heavier-tailed than
+    preferential attachment and with tunable skew.  Duplicate edges and
+    self-loops are rejected, so the graph is simple with exactly
+    ``num_edges`` edges.
+    """
+    if exponent <= 1:
+        raise ValueError(f"power-law exponent must exceed 1, got {exponent}")
+    if num_vertices < 2 and num_edges > 0:
+        raise ValueError("cannot place edges on fewer than two vertices")
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError(
+            f"{num_edges} edges requested but a simple graph on {num_vertices} "
+            f"vertices has at most {max_edges}"
+        )
+    rng = random.Random(seed)
+    alpha = 1.0 / (exponent - 1.0)
+    cumulative: list[float] = []
+    total = 0.0
+    for index in range(num_vertices):
+        total += (index + 1) ** -alpha
+        cumulative.append(total)
+
+    def draw() -> int:
+        return bisect.bisect_left(cumulative, rng.random() * total)
+
+    graph = Graph(vertices=range(num_vertices))
+    chosen: set[tuple[int, int]] = set()
+    # Weighted rejection sampling; heavy collisions on the head vertices can
+    # stall it near the density limit, so fall back to uniform pairs then.
+    attempts = 0
+    attempt_budget = 50 * num_edges + 1000
+    while len(chosen) < num_edges:
+        if attempts < attempt_budget:
+            u, v = draw(), draw()
+            attempts += 1
+        else:
+            u = rng.randrange(num_vertices)
+            v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        if u > v:
+            u, v = v, u
+        chosen.add((u, v))
+    for u, v in chosen:
+        graph.add_edge(u, v)
+    return graph
+
+
+def planted_partition(
+    num_communities: int,
+    community_size: int,
+    intra_edges: int,
+    inter_edges: int,
+    seed: int | None = None,
+) -> Graph:
+    """A community-structured random graph (planted-partition model).
+
+    ``intra_edges`` edges are sampled inside uniformly chosen communities and
+    ``inter_edges`` between distinct communities; dense communities make the
+    graph triangle-rich while the sparse inter-community edges keep the
+    global structure clustered, the typical shape of social networks.
+    """
+    if num_communities < 1 or community_size < 2:
+        raise ValueError("need at least one community of at least two vertices")
+    max_intra = num_communities * community_size * (community_size - 1) // 2
+    if intra_edges > max_intra:
+        raise ValueError(
+            f"{intra_edges} intra-community edges requested but the partition "
+            f"holds at most {max_intra}"
+        )
+    if inter_edges > 0 and num_communities < 2:
+        raise ValueError("inter-community edges need at least two communities")
+    max_inter = community_size * community_size * num_communities * (num_communities - 1) // 2
+    if inter_edges > max_inter:
+        raise ValueError(
+            f"{inter_edges} inter-community edges requested but the partition "
+            f"holds at most {max_inter}"
+        )
+    rng = random.Random(seed)
+    graph = Graph(vertices=range(num_communities * community_size))
+
+    def member(community: int) -> int:
+        return community * community_size + rng.randrange(community_size)
+
+    chosen: set[tuple[int, int]] = set()
+    while len(chosen) < intra_edges:
+        community = rng.randrange(num_communities)
+        u, v = member(community), member(community)
+        if u == v:
+            continue
+        if u > v:
+            u, v = v, u
+        chosen.add((u, v))
+    placed_inter = 0
+    while placed_inter < inter_edges:
+        first = rng.randrange(num_communities)
+        second = rng.randrange(num_communities)
+        if first == second:
+            continue
+        u, v = member(first), member(second)
+        if u > v:
+            u, v = v, u
+        if (u, v) in chosen:
+            continue
+        chosen.add((u, v))
+        placed_inter += 1
+    for u, v in chosen:
+        graph.add_edge(u, v)
+    return graph
+
+
+def random_bipartite(
+    left: int, right: int, num_edges: int, seed: int | None = None
+) -> Graph:
+    """A uniformly random bipartite graph (triangle-free by construction)."""
+    if left < 1 or right < 1:
+        raise ValueError("both sides of a bipartite graph must be non-empty")
+    if num_edges > left * right:
+        raise ValueError(
+            f"{num_edges} edges requested but K_{{{left},{right}}} has only {left * right}"
+        )
+    rng = random.Random(seed)
+    graph = Graph(vertices=range(left + right))
+    chosen: set[tuple[int, int]] = set()
+    while len(chosen) < num_edges:
+        u = rng.randrange(left)
+        v = left + rng.randrange(right)
+        chosen.add((u, v))
+    for u, v in chosen:
+        graph.add_edge(u, v)
     return graph
 
 

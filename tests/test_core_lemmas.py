@@ -1,7 +1,5 @@
 """Tests for the paper's subroutines: Lemma 1 and Lemma 2."""
 
-import math
-
 import pytest
 
 from repro.analysis.bounds import sort_io
@@ -13,7 +11,6 @@ from repro.core.lemma2 import triangles_with_pivot_in
 from repro.extmem.machine import Machine
 from repro.extmem.stats import IOStats
 from repro.graph.generators import clique, erdos_renyi_gnm
-from repro.graph.graph import Graph
 
 
 def make_machine(memory=64, block=8):

@@ -172,7 +172,16 @@ class TestRunAllCli:
         from repro.experiments.run_all import main
 
         output_file = tmp_path / "results.txt"
-        exit_code = main(["--quick", "--output", str(output_file), "EXP4"])
+        exit_code = main(
+            [
+                "--quick",
+                "--results-dir",
+                str(tmp_path / "results"),
+                "--output",
+                str(output_file),
+                "EXP4",
+            ]
+        )
         assert exit_code == 0
         captured = capsys.readouterr().out
         assert "EXP4" in captured

@@ -5,7 +5,6 @@ import pytest
 from repro.analysis.model import MachineParams
 from repro.exceptions import FileClosedError
 from repro.extmem.oblivious import (
-    ExtVector,
     ObliviousVM,
     filter_vector,
     map_vector,

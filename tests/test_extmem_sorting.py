@@ -1,16 +1,14 @@
 """Unit and property tests for the external merge sort (repro.extmem.sorting)."""
 
-import math
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.bounds import sort_io
 from repro.analysis.model import MachineParams
 from repro.extmem.machine import Machine
-from repro.extmem.sorting import external_merge_sort, merge_fan_in, merge_sorted_scan
+from repro.extmem.sorting import merge_fan_in, merge_sorted_scan
 from repro.extmem.stats import IOStats
 
 

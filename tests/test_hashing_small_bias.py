@@ -5,7 +5,7 @@ from collections import Counter
 
 import pytest
 
-from repro.hashing.small_bias import BitFunction, SmallBiasFamily
+from repro.hashing.small_bias import SmallBiasFamily
 
 
 class TestConstruction:

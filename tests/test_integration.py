@@ -8,8 +8,6 @@ stays robust and fast.
 
 import math
 
-import pytest
-
 from repro.analysis.bounds import (
     cache_aware_io,
     hu_tao_chung_io,
