@@ -44,8 +44,10 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.analysis.model import MachineParams  # noqa: E402
+from repro.core.api import enumerate_triangles  # noqa: E402
 from repro.core.cache_aware import cache_aware_randomized  # noqa: E402
 from repro.core.emit import CountingSink  # noqa: E402
+from repro.core.engine import TriangleEngine  # noqa: E402
 from repro.experiments.specs import make_spec  # noqa: E402
 from repro.experiments.store import ResultStore  # noqa: E402
 from repro.extmem.machine import Machine  # noqa: E402
@@ -114,10 +116,62 @@ def bench_cache_aware(num_edges: int, repeats: int) -> dict:
     }
 
 
+#: Algorithms swept by the engine-reuse benchmark (the ``compare`` path).
+_ENGINE_SWEEP = ("cache_aware", "hu_tao_chung", "dementiev")
+
+
+def bench_engine_reuse(num_edges: int, repeats: int) -> dict:
+    """Engine reuse vs per-run canonicalisation on the compare/sweep path.
+
+    Runs the same three algorithms on one seeded graph twice per repetition:
+    once through a shared :class:`TriangleEngine` (the graph is
+    canonicalised once) and once through the one-shot
+    ``enumerate_triangles`` wrapper (which re-canonicalises per call, the
+    pre-engine behaviour of ``repro compare``).  The simulated counters of
+    the engine path are pinned as golden; the reuse speedup tracks the
+    wall-clock win of hoisting canonicalisation.
+    """
+    graph = erdos_renyi_gnm(max(64, num_edges * 3 // 10), num_edges, seed=7)
+    params = MachineParams(2048, 32)
+    reuse_times: list[float] = []
+    one_shot_times: list[float] = []
+    io = {"reads": 0, "writes": 0, "operations": 0}
+    triangles = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        engine = TriangleEngine(graph, params=params)
+        results = [engine.run(algorithm, seed=0) for algorithm in _ENGINE_SWEEP]
+        reuse_times.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        for algorithm in _ENGINE_SWEEP:
+            enumerate_triangles(graph, algorithm=algorithm, params=params, seed=0, collect=False)
+        one_shot_times.append(time.perf_counter() - started)
+
+        io = {
+            "reads": sum(result.io.reads for result in results),
+            "writes": sum(result.io.writes for result in results),
+            "operations": sum(result.io.operations for result in results),
+        }
+        triangles = results[0].triangle_count
+    reuse_best, one_shot_best = min(reuse_times), min(one_shot_times)
+    return {
+        "edges": num_edges,
+        "algorithms": list(_ENGINE_SWEEP),
+        "machine": {"M": params.memory_words, "B": params.block_words},
+        "wall_seconds": reuse_best,
+        "one_shot_seconds": one_shot_best,
+        "reuse_speedup": round(one_shot_best / reuse_best, 2) if reuse_best > 0 else None,
+        "triangles": triangles,
+        "io": io,
+    }
+
+
 def run_all(num_records: int, num_edges: int, repeats: int) -> dict[str, dict]:
     return {
         f"substrate_sort_{num_records // 1000}k": bench_substrate_sort(num_records, repeats),
         f"cache_aware_e{num_edges // 1000}k": bench_cache_aware(num_edges, repeats),
+        f"engine_reuse_e{num_edges // 5}": bench_engine_reuse(num_edges // 5, repeats),
     }
 
 

@@ -12,7 +12,9 @@ Pagh & Silvestri (PODS 2014) together with every substrate they rely on:
   generators.
 * :mod:`repro.core` -- the paper's triangle-enumeration algorithms
   (cache-aware randomized, cache-aware deterministic, cache-oblivious
-  randomized) plus the external-memory baselines they are compared against.
+  randomized) plus the external-memory baselines they are compared against,
+  all registered in a declarative algorithm registry and executed by the
+  reusable :class:`~repro.core.engine.TriangleEngine`.
 * :mod:`repro.joins` -- the database motivation: 3-way cyclic joins computed
   via triangle enumeration.
 * :mod:`repro.analysis` -- closed-form I/O bounds and measurement
@@ -20,7 +22,9 @@ Pagh & Silvestri (PODS 2014) together with every substrate they rely on:
 * :mod:`repro.experiments` -- the experiment harness reproducing every
   quantitative claim of the paper.
 
-The most convenient entry point is :func:`repro.enumerate_triangles`.
+The most convenient entry points are :class:`repro.TriangleEngine` (prepare
+a graph once, run many configurations) and the one-shot
+:func:`repro.enumerate_triangles` wrapper.
 """
 
 from repro.analysis.model import MachineParams
@@ -31,6 +35,9 @@ from repro.core.api import (
     list_algorithms,
 )
 from repro.core.emit import CollectingSink, CountingSink, Triangle
+from repro.core.engine import TriangleEngine
+from repro.core.registry import AlgorithmSpec, algorithm_specs, register_algorithm
+from repro.core.result import EnumerationResult, RunResult
 from repro.extmem.stats import IOStats
 from repro.graph.graph import Graph
 
@@ -38,14 +45,20 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmSpec",
     "CollectingSink",
     "CountingSink",
+    "EnumerationResult",
     "Graph",
     "IOStats",
     "MachineParams",
+    "RunResult",
     "Triangle",
+    "TriangleEngine",
     "__version__",
+    "algorithm_specs",
     "count_triangles",
     "enumerate_triangles",
     "list_algorithms",
+    "register_algorithm",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the everyday uses of the library:
+Six subcommands cover the everyday uses of the library:
 
 ``repro enumerate GRAPH``
     Enumerate the triangles of an edge-list file on a simulated machine and
@@ -9,6 +9,12 @@ Four subcommands cover the everyday uses of the library:
 ``repro compare GRAPH``
     Run several algorithms on the same file and print an I/O comparison
     table -- a one-command version of experiment EXP1 on your own data.
+    The graph is canonicalised once and shared across all algorithms via
+    :class:`repro.core.engine.TriangleEngine`.
+
+``repro algorithms``
+    Render the algorithm registry: paper section, I/O bound, substrate kind
+    and the typed options schema of every registered algorithm.
 
 ``repro stats GRAPH``
     Triangle-based statistics: per-vertex counts, clustering coefficients,
@@ -35,7 +41,8 @@ from typing import Sequence
 
 from repro import __version__
 from repro.analysis.model import MachineParams
-from repro.core.api import ALGORITHMS, enumerate_triangles
+from repro.core.engine import TriangleEngine
+from repro.core.registry import algorithm_names, algorithm_specs
 from repro.graph.files import read_edge_list, write_edge_list
 from repro.graph.generators import (
     chung_lu_power_law,
@@ -48,7 +55,22 @@ from repro.graph.generators import (
 )
 from repro.graph.metrics import clustering_coefficients, transitivity, triangle_statistics
 
-_EXTERNAL_ALGORITHMS = ("cache_aware", "deterministic", "hu_tao_chung", "dementiev", "bnlj")
+
+def _default_compare_algorithms() -> list[str]:
+    """Default ``compare`` set: the explicit-machine algorithms.
+
+    Matches the historical default: the cache-oblivious algorithm (orders of
+    magnitude more simulated work under the LRU cache) and the in-memory
+    oracle (no I/O to compare) are opt-in.
+    """
+    return [spec.name for spec in algorithm_specs() if spec.substrate == "machine"]
+
+
+def _algorithm_help(default: str | None = None) -> str:
+    """One-line ``--algorithm`` help text derived from the registry."""
+    names = ", ".join(algorithm_names())
+    suffix = f" (default {default})" if default else ""
+    return f"enumeration algorithm: {names}{suffix}; see `repro algorithms`"
 
 
 def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -69,10 +91,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    available = sorted(algorithm_names())
+
     enumerate_parser = subparsers.add_parser("enumerate", help="enumerate triangles of an edge-list file")
     enumerate_parser.add_argument("graph", help="path to a whitespace-separated edge-list file")
     enumerate_parser.add_argument(
-        "--algorithm", choices=sorted(ALGORITHMS), default="cache_aware", help="enumeration algorithm"
+        "--algorithm", choices=available, default="cache_aware", help=_algorithm_help("cache_aware")
     )
     enumerate_parser.add_argument(
         "--print-triangles", action="store_true", help="print every triangle (can be large)"
@@ -84,17 +108,24 @@ def _build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument(
         "--algorithms",
         nargs="+",
-        choices=sorted(ALGORITHMS),
-        default=list(_EXTERNAL_ALGORITHMS),
-        help="algorithms to compare",
+        choices=available,
+        default=_default_compare_algorithms(),
+        help="algorithms to compare (default: every explicit-machine algorithm)",
     )
     _add_machine_arguments(compare_parser)
+
+    algorithms_parser = subparsers.add_parser(
+        "algorithms", help="show the algorithm registry (sections, bounds, options)"
+    )
+    algorithms_parser.add_argument(
+        "--verbose", action="store_true", help="also print each algorithm's options schema"
+    )
 
     stats_parser = subparsers.add_parser("stats", help="triangle statistics and clustering coefficients")
     stats_parser.add_argument("graph", help="path to a whitespace-separated edge-list file")
     stats_parser.add_argument("--top", type=int, default=10, help="how many top vertices to print")
     stats_parser.add_argument(
-        "--algorithm", choices=sorted(ALGORITHMS), default="cache_aware", help="enumeration algorithm"
+        "--algorithm", choices=available, default="cache_aware", help=_algorithm_help("cache_aware")
     )
     _add_machine_arguments(stats_parser)
 
@@ -140,10 +171,9 @@ def _build_parser() -> argparse.ArgumentParser:
 def _command_enumerate(arguments: argparse.Namespace) -> int:
     graph = read_edge_list(arguments.graph)
     params = _machine_params(arguments)
-    result = enumerate_triangles(
-        graph,
-        algorithm=arguments.algorithm,
-        params=params,
+    engine = TriangleEngine(graph, params=params)
+    result = engine.run(
+        arguments.algorithm,
         seed=arguments.seed,
         collect=arguments.print_triangles,
     )
@@ -161,17 +191,39 @@ def _command_enumerate(arguments: argparse.Namespace) -> int:
 def _command_compare(arguments: argparse.Namespace) -> int:
     graph = read_edge_list(arguments.graph)
     params = _machine_params(arguments)
+    # One engine: the graph is canonicalised once and shared by every run.
+    engine = TriangleEngine(graph, params=params)
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
     print(f"machine: M={params.memory_words}, B={params.block_words}")
     print(f"{'algorithm':16s} {'triangles':>10s} {'I/Os':>12s} {'reads':>10s} {'writes':>10s}")
     for algorithm in arguments.algorithms:
-        result = enumerate_triangles(
-            graph, algorithm=algorithm, params=params, seed=arguments.seed, collect=False
-        )
+        result = engine.run(algorithm, seed=arguments.seed, collect=False)
         print(
             f"{algorithm:16s} {result.triangle_count:10d} {result.io.total:12d} "
             f"{result.io.reads:10d} {result.io.writes:10d}"
         )
+    return 0
+
+
+def _command_algorithms(arguments: argparse.Namespace) -> int:
+    specs = algorithm_specs()
+    print(f"{'name':16s} {'section':12s} {'substrate':12s} {'seed':5s} I/O bound")
+    for spec in specs:
+        section = spec.section.split(" ")[0]
+        seed_flag = "yes" if spec.accepts_seed else "no"
+        print(f"{spec.name:16s} {section:12s} {spec.substrate:12s} {seed_flag:5s} {spec.io_bound}")
+    if arguments.verbose:
+        for spec in specs:
+            print(f"\n{spec.name}: {spec.summary}")
+            schema = spec.options_schema()
+            if not schema:
+                print("  options: (none)")
+                continue
+            print("  options:")
+            for row in schema:
+                print(f"    {row['name']}: {row['type']} = {row['default']!r}")
+    else:
+        print("\nrun `repro algorithms --verbose` for summaries and options schemas")
     return 0
 
 
@@ -259,6 +311,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "enumerate": _command_enumerate,
         "compare": _command_compare,
+        "algorithms": _command_algorithms,
         "stats": _command_stats,
         "generate": _command_generate,
         "experiments": _command_experiments,

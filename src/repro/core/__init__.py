@@ -1,8 +1,14 @@
-"""The paper's triangle-enumeration algorithms and their baselines."""
+"""The paper's triangle-enumeration algorithms and their baselines.
+
+The public surface of this package is the algorithm registry
+(:mod:`repro.core.registry`) plus the reusable
+:class:`~repro.core.engine.TriangleEngine`; the ``enumerate_triangles`` /
+``count_triangles`` functions are thin one-shot wrappers kept for
+back-compatibility.
+"""
 
 from repro.core.api import (
     ALGORITHMS,
-    EnumerationResult,
     count_triangles,
     enumerate_triangles,
     list_algorithms,
@@ -15,17 +21,33 @@ from repro.core.emit import (
     TriangleSink,
     sorted_triangle,
 )
+from repro.core.engine import TriangleEngine
+from repro.core.registry import (
+    AlgorithmOptions,
+    AlgorithmSpec,
+    algorithm_specs,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.core.result import EnumerationResult, RunResult
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmOptions",
+    "AlgorithmSpec",
     "CollectingSink",
     "CountingSink",
     "DedupCheckingSink",
     "EnumerationResult",
+    "RunResult",
     "Triangle",
+    "TriangleEngine",
     "TriangleSink",
+    "algorithm_specs",
     "count_triangles",
     "enumerate_triangles",
+    "get_algorithm",
     "list_algorithms",
+    "register_algorithm",
     "sorted_triangle",
 ]

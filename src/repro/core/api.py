@@ -1,131 +1,97 @@
-"""Public entry points for triangle enumeration.
+"""Thin back-compatible entry points over the engine and the registry.
 
-:func:`enumerate_triangles` accepts either a :class:`repro.graph.graph.Graph`
-or a plain iterable of edges, canonicalises it (degree ordering, Section 1.3
-of the paper), runs the chosen algorithm on a freshly simulated machine and
-returns an :class:`EnumerationResult` with the triangles (in the caller's
-original vertex labels) and the simulated I/O counts.
+The real public API is :class:`repro.core.engine.TriangleEngine` (a session
+object that canonicalises a graph once and runs many configurations against
+it) plus the algorithm registry (:mod:`repro.core.registry`).  The functions
+below are the original one-shot convenience wrappers, kept stable for
+callers and scripts that predate the engine: each call builds a throwaway
+engine, so repeated calls re-canonicalise -- use the engine directly when
+running more than one configuration on the same graph.
 
-Available algorithms (see :data:`ALGORITHMS`):
-
-``cache_aware``
-    Section 2 -- randomized cache-aware, ``O(E^{3/2}/(sqrt(M) B))`` expected.
-``deterministic``
-    Section 4 -- derandomized cache-aware, same bound, no randomness.
-``cache_oblivious``
-    Section 3 -- randomized cache-oblivious, same bound, never reads M or B.
-``hu_tao_chung``
-    SIGMOD 2013 baseline, ``O(E^2/(MB))``.
-``dementiev``
-    Sort-based baseline, ``O(sort(E^{3/2}))``.
-``bnlj``
-    Block-nested-loop-join baseline, ``O(E^3/(M^2 B))``.
-``in_memory``
-    Compact-forward oracle (no simulated I/O); the ground truth for tests.
+Available algorithms are discovered from the registry; run ``repro
+algorithms`` (or :func:`repro.core.registry.algorithm_specs`) for the full
+table of paper sections, I/O bounds, substrate kinds and typed options.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable
 
 from repro.analysis.model import MachineParams
-from repro.core.baselines.bnlj import block_nested_loop_join
-from repro.core.baselines.dementiev import dementiev_sort_based
-from repro.core.baselines.hu_tao_chung import hu_tao_chung
-from repro.core.baselines.in_memory import triangles_in_memory
-from repro.core.cache_aware import cache_aware_randomized
-from repro.core.cache_oblivious import cache_oblivious_randomized
-from repro.core.derandomized import deterministic_cache_aware
-from repro.core.emit import TriangleSink, emit_all
-from repro.exceptions import AlgorithmError
-from repro.extmem.machine import Machine
-from repro.extmem.oblivious import ObliviousVM
-from repro.extmem.stats import IOSnapshot, IOStats
-from repro.graph.graph import DegreeOrder, Graph
-from repro.graph.io import edges_to_file, edges_to_vector
+from repro.core.emit import TriangleSink
+from repro.core.engine import TriangleEngine
+from repro.core.registry import algorithm_names, algorithm_specs, get_algorithm
+from repro.core.result import EnumerationResult, RunResult
+from repro.graph.graph import Graph
+
+
+class _AlgorithmsView(dict):
+    """Mapping of algorithm name to summary, backed by the live registry.
+
+    Kept for back-compatibility with the old hand-maintained ``ALGORITHMS``
+    dict; algorithms registered later (e.g. by plugins) appear automatically
+    because membership checks re-consult the registry.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._refresh()
+
+    def _refresh(self) -> None:
+        dict.clear(self)
+        for spec in algorithm_specs():
+            dict.__setitem__(self, spec.name, spec.summary)
+
+    def __contains__(self, name: object) -> bool:
+        self._refresh()
+        return dict.__contains__(self, name)
+
+    def __iter__(self):
+        self._refresh()
+        return dict.__iter__(self)
+
+    def __getitem__(self, name):
+        self._refresh()
+        return dict.__getitem__(self, name)
+
+    def get(self, name, default=None):
+        self._refresh()
+        return dict.get(self, name, default)
+
+    def keys(self):
+        self._refresh()
+        return dict.keys(self)
+
+    def values(self):
+        self._refresh()
+        return dict.values(self)
+
+    def items(self):
+        self._refresh()
+        return dict.items(self)
+
+    def __len__(self) -> int:
+        self._refresh()
+        return dict.__len__(self)
+
+    def __eq__(self, other: object) -> bool:
+        self._refresh()
+        # dict.__eq__ returns NotImplemented for non-dict operands; Python
+        # derives a correct __ne__ (and unsets __hash__) from this __eq__.
+        return dict.__eq__(self, other)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        self._refresh()
+        return dict.__repr__(self)
+
 
 #: Names of the supported algorithms mapped to a short description.
-ALGORITHMS: dict[str, str] = {
-    "cache_aware": "Randomized cache-aware (paper Section 2, Theorem 4)",
-    "deterministic": "Deterministic cache-aware (paper Section 4, Theorem 2)",
-    "cache_oblivious": "Randomized cache-oblivious (paper Section 3, Theorem 1)",
-    "hu_tao_chung": "Hu-Tao-Chung SIGMOD 2013 baseline, O(E^2/(MB))",
-    "dementiev": "Sort-based wedge-join baseline, O(sort(E^{3/2}))",
-    "bnlj": "Block-nested-loop-join baseline, O(E^3/(M^2 B))",
-    "in_memory": "Compact-forward in-memory oracle (no simulated I/O)",
-}
+ALGORITHMS: dict[str, str] = _AlgorithmsView()
 
 
 def list_algorithms() -> list[str]:
     """Names of all available enumeration algorithms."""
-    return list(ALGORITHMS)
-
-
-@dataclass
-class EnumerationResult:
-    """Everything a caller (or an experiment) needs to know about one run."""
-
-    algorithm: str
-    params: MachineParams
-    num_vertices: int
-    num_edges: int
-    triangle_count: int
-    triangles: list[tuple[Any, Any, Any]] | None
-    io: IOSnapshot
-    disk_peak_words: int
-    wall_time_seconds: float
-    report: Any
-    order: DegreeOrder
-
-    @property
-    def total_ios(self) -> int:
-        """Total simulated block transfers of the run."""
-        return self.io.total
-
-
-class _TranslatingSink:
-    """Translates emitted ranks back to original vertex labels."""
-
-    def __init__(self, inner: TriangleSink, order: DegreeOrder) -> None:
-        self.inner = inner
-        self.order = order
-        self.count = 0
-
-    def emit(self, a: int, b: int, c: int) -> None:
-        self.count += 1
-        labels = self.order.to_labels((a, b, c))
-        self.inner.emit(*labels)
-
-    def emit_many(self, triangles: Sequence[tuple[int, int, int]]) -> None:
-        """Translate and forward a batch of ranked triangles in one call."""
-        self.count += len(triangles)
-        to_labels = self.order.to_labels
-        emit_all(self.inner, [to_labels(triangle) for triangle in triangles])
-
-
-class _LabelCollector:
-    """Collects label triangles without re-sorting them (labels may not be comparable)."""
-
-    def __init__(self) -> None:
-        self.triangles: list[tuple[Any, Any, Any]] = []
-
-    def emit(self, a: Any, b: Any, c: Any) -> None:
-        self.triangles.append((a, b, c))
-
-    def emit_many(self, triangles: Sequence[tuple[Any, Any, Any]]) -> None:
-        self.triangles.extend(triangles)
-
-
-class _NullSink:
-    """Discards emissions (used when neither collection nor a sink is requested)."""
-
-    def emit(self, a: Any, b: Any, c: Any) -> None:  # pragma: no cover - trivial
-        return
-
-    def emit_many(self, triangles: Sequence[tuple[Any, Any, Any]]) -> None:  # pragma: no cover
-        return
+    return algorithm_names()
 
 
 def enumerate_triangles(
@@ -145,7 +111,7 @@ def enumerate_triangles(
         A :class:`repro.graph.graph.Graph` or any iterable of edges (pairs of
         hashable vertex labels).
     algorithm:
-        One of :data:`ALGORITHMS`.
+        A registered algorithm name (see :func:`list_algorithms`).
     params:
         Simulated machine parameters ``(M, B)``; defaults to
         ``MachineParams.default()``.
@@ -159,92 +125,22 @@ def enumerate_triangles(
         When true (default) the result carries the full list of triangles;
         set to false for large outputs where only the count matters.
     algorithm_options:
-        Passed through to the underlying algorithm (e.g. ``num_colors`` for
-        the cache-aware variants, ``max_depth`` for the cache-oblivious one).
+        Validated against the algorithm's typed options dataclass (e.g.
+        ``num_colors`` for the cache-aware variants, ``max_depth`` for the
+        cache-oblivious one); unknown options raise
+        :class:`repro.exceptions.OptionsError`.
     """
-    if algorithm not in ALGORITHMS:
-        raise AlgorithmError(
-            f"unknown algorithm {algorithm!r}; available: {', '.join(ALGORITHMS)}"
-        )
-    params = params if params is not None else MachineParams.default()
-    graph_obj = graph if isinstance(graph, Graph) else Graph.from_edge_list(graph)
-    order = graph_obj.degree_order()
-
-    collector = _LabelCollector() if collect else None
-    inner_sink: TriangleSink
-    if sink is not None and collector is not None:
-        inner_sink = _TeeSink(sink, collector)
-    elif sink is not None:
-        inner_sink = sink
-    elif collector is not None:
-        inner_sink = collector
-    else:
-        inner_sink = _NullSink()
-    translating = _TranslatingSink(inner_sink, order)
-
-    stats = IOStats()
-    started = time.perf_counter()
-    report: Any = None
-    disk_peak = 0
-
-    if algorithm == "in_memory":
-        triangles_in_memory(order.edges, translating)
-    elif algorithm == "cache_oblivious":
-        vm = ObliviousVM(params, stats)
-        edge_vector = edges_to_vector(vm, order.edges)
-        report = cache_oblivious_randomized(
-            vm, edge_vector, translating, seed=seed, **algorithm_options
-        )
-        disk_peak = vm.peak_words
-    else:
-        machine = Machine(params, stats)
-        edge_file = edges_to_file(machine, order.edges)
-        if algorithm == "cache_aware":
-            report = cache_aware_randomized(
-                machine, edge_file, translating, seed=seed, **algorithm_options
-            )
-        elif algorithm == "deterministic":
-            report = deterministic_cache_aware(
-                machine, edge_file, translating, **algorithm_options
-            )
-        elif algorithm == "hu_tao_chung":
-            report = hu_tao_chung(machine, edge_file, translating, **algorithm_options)
-        elif algorithm == "dementiev":
-            report = dementiev_sort_based(machine, edge_file, translating, **algorithm_options)
-        elif algorithm == "bnlj":
-            report = block_nested_loop_join(machine, edge_file, translating, **algorithm_options)
-        disk_peak = machine.disk.peak_words
-
-    elapsed = time.perf_counter() - started
-    return EnumerationResult(
-        algorithm=algorithm,
-        params=params,
-        num_vertices=graph_obj.num_vertices,
-        num_edges=order.num_edges,
-        triangle_count=translating.count,
-        triangles=collector.triangles if collector is not None else None,
-        io=stats.snapshot(),
-        disk_peak_words=disk_peak,
-        wall_time_seconds=elapsed,
-        report=report,
-        order=order,
+    # Fail fast on an unknown algorithm or invalid options *before* the
+    # O(E log E) canonicalisation the engine constructor performs.
+    get_algorithm(algorithm).resolve_options(None, algorithm_options)
+    engine = TriangleEngine(graph, params=params)
+    return engine.run(
+        algorithm,
+        seed=seed,
+        sink=sink,
+        collect=collect,
+        **algorithm_options,
     )
-
-
-class _TeeSink:
-    """Forwards emissions to two sinks (user sink plus the collector)."""
-
-    def __init__(self, first: TriangleSink, second: TriangleSink) -> None:
-        self.first = first
-        self.second = second
-
-    def emit(self, a: Any, b: Any, c: Any) -> None:
-        self.first.emit(a, b, c)
-        self.second.emit(a, b, c)
-
-    def emit_many(self, triangles: Sequence[tuple[Any, Any, Any]]) -> None:
-        emit_all(self.first, triangles)
-        emit_all(self.second, triangles)
 
 
 def count_triangles(
@@ -255,12 +151,16 @@ def count_triangles(
     **algorithm_options: Any,
 ) -> int:
     """Number of triangles in ``graph`` (convenience wrapper, does not collect them)."""
-    result = enumerate_triangles(
-        graph,
-        algorithm=algorithm,
-        params=params,
-        seed=seed,
-        collect=False,
-        **algorithm_options,
-    )
-    return result.triangle_count
+    get_algorithm(algorithm).resolve_options(None, algorithm_options)
+    engine = TriangleEngine(graph, params=params)
+    return engine.count(algorithm, seed=seed, **algorithm_options)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "EnumerationResult",
+    "RunResult",
+    "count_triangles",
+    "enumerate_triangles",
+    "list_algorithms",
+]

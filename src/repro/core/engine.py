@@ -1,0 +1,434 @@
+"""The reusable triangle-enumeration session object.
+
+:class:`TriangleEngine` owns the canonicalisation of one graph (``Graph`` →
+:class:`~repro.graph.graph.DegreeOrder`, Section 1.3 of the paper) **once**
+and then runs any number of ``(algorithm, params, seed, options)``
+configurations against the same prepared edge list -- each run on a freshly
+simulated machine with fresh I/O counters, so measurements are independent
+and bit-identical to the old one-shot entry points.  Algorithms are resolved
+through the declarative registry (:mod:`repro.core.registry`); the engine is
+the only place in the package that knows how to stand up a substrate.
+
+Four consumption modes::
+
+    engine = TriangleEngine(graph)
+    engine.run("cache_aware", collect=True)      # materialised triangle list
+    engine.run("bnlj", sink=my_sink)             # push into a user sink
+    engine.count("deterministic")                # count-only fast path
+    for batch in engine.stream("cache_aware"):   # pull label-triangle batches
+        ...
+
+The count-only path skips the per-triangle rank→label translation entirely
+(the algorithm emits straight into a counting sink), which is what the
+experiment sweeps use.  Streaming runs the algorithm on a worker thread and
+hands label-triangle batches across a bounded queue, so consumers iterate
+with the memory footprint of one batch.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.analysis.model import MachineParams
+from repro.core.emit import CountingSink, TriangleSink, emit_all
+from repro.core.registry import (
+    AlgorithmOptions,
+    SubstrateContext,
+    get_algorithm,
+)
+from repro.core.result import RunResult
+from repro.extmem.machine import Machine
+from repro.extmem.oblivious import ObliviousVM
+from repro.extmem.stats import IOStats
+from repro.graph.graph import DegreeOrder, Graph
+from repro.graph.io import edges_to_file, edges_to_vector
+from repro.graph.validation import check_canonical_edges
+
+
+class _TranslatingSink:
+    """Translates emitted ranks back to original vertex labels."""
+
+    def __init__(self, inner: TriangleSink, order: DegreeOrder) -> None:
+        self.inner = inner
+        self.order = order
+        self.count = 0
+
+    def emit(self, a: int, b: int, c: int) -> None:
+        self.count += 1
+        labels = self.order.to_labels((a, b, c))
+        self.inner.emit(*labels)
+
+    def emit_many(self, triangles: Sequence[tuple[int, int, int]]) -> None:
+        """Translate and forward a batch of ranked triangles in one call."""
+        self.count += len(triangles)
+        to_labels = self.order.to_labels
+        emit_all(self.inner, [to_labels(triangle) for triangle in triangles])
+
+
+class _CountingForwarder:
+    """Counts and forwards emissions unchanged (identity-label engines)."""
+
+    def __init__(self, inner: TriangleSink) -> None:
+        self.inner = inner
+        self.count = 0
+
+    def emit(self, a: int, b: int, c: int) -> None:
+        self.count += 1
+        self.inner.emit(a, b, c)
+
+    def emit_many(self, triangles: Sequence[tuple[int, int, int]]) -> None:
+        self.count += len(triangles)
+        emit_all(self.inner, triangles)
+
+
+class _LabelCollector:
+    """Collects label triangles without re-sorting them (labels may not be comparable)."""
+
+    def __init__(self) -> None:
+        self.triangles: list[tuple[Any, Any, Any]] = []
+
+    def emit(self, a: Any, b: Any, c: Any) -> None:
+        self.triangles.append((a, b, c))
+
+    def emit_many(self, triangles: Sequence[tuple[Any, Any, Any]]) -> None:
+        self.triangles.extend(triangles)
+
+
+class _TeeSink:
+    """Forwards emissions to two sinks (user sink plus the collector)."""
+
+    def __init__(self, first: TriangleSink, second: TriangleSink) -> None:
+        self.first = first
+        self.second = second
+
+    def emit(self, a: Any, b: Any, c: Any) -> None:
+        self.first.emit(a, b, c)
+        self.second.emit(a, b, c)
+
+    def emit_many(self, triangles: Sequence[tuple[Any, Any, Any]]) -> None:
+        emit_all(self.first, triangles)
+        emit_all(self.second, triangles)
+
+
+class _StreamClosed(Exception):
+    """Internal: the consumer abandoned a stream; unwind the worker."""
+
+
+class _StreamBatchSink:
+    """Buffers label triangles and ships them across the stream queue."""
+
+    def __init__(
+        self,
+        out: "queue_module.Queue[tuple[str, Any]]",
+        batch_size: int,
+        stop: threading.Event,
+    ) -> None:
+        self.out = out
+        self.batch_size = batch_size
+        self.stop = stop
+        self.buffer: list[tuple[Any, Any, Any]] = []
+
+    def emit(self, a: Any, b: Any, c: Any) -> None:
+        self.buffer.append((a, b, c))
+        if len(self.buffer) >= self.batch_size:
+            self.flush()
+
+    def emit_many(self, triangles: Sequence[tuple[Any, Any, Any]]) -> None:
+        self.buffer.extend(triangles)
+        if len(self.buffer) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        """Ship the buffered triangles in batch_size slices.
+
+        Algorithms emit through the batched ``emit_many`` path with batches
+        of their own sizing, so the buffer may exceed ``batch_size``; it is
+        re-chunked here to honour the consumer's bound.  Raises
+        :class:`_StreamClosed` if the consumer went away.
+        """
+        if not self.buffer:
+            return
+        buffered, self.buffer = self.buffer, []
+        for start in range(0, len(buffered), self.batch_size):
+            self._put(buffered[start : start + self.batch_size])
+
+    def _put(self, batch: list[tuple[Any, Any, Any]]) -> None:
+        while True:
+            if self.stop.is_set():
+                raise _StreamClosed()
+            try:
+                self.out.put(("batch", batch), timeout=0.1)
+                return
+            except queue_module.Full:
+                continue
+
+
+class TriangleEngine:
+    """A prepared graph plus the machinery to run many configurations on it.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graph.graph.Graph` or any iterable of edges (pairs
+        of hashable vertex labels).  Canonicalised exactly once, here.
+    params:
+        Default simulated machine parameters for runs that do not pass their
+        own; falls back to :meth:`MachineParams.default`.
+    """
+
+    def __init__(
+        self,
+        graph: Graph | Iterable[tuple[Any, Any]],
+        params: MachineParams | None = None,
+    ) -> None:
+        graph_obj = graph if isinstance(graph, Graph) else Graph.from_edge_list(graph)
+        order = graph_obj.degree_order()
+        self._order: DegreeOrder | None = order
+        self._edges: list[tuple[int, int]] = order.edges
+        self._num_vertices = graph_obj.num_vertices
+        self.default_params = params
+
+    @classmethod
+    def from_canonical_edges(
+        cls,
+        edges: Sequence[tuple[int, int]],
+        params: MachineParams | None = None,
+        validate: bool = True,
+    ) -> "TriangleEngine":
+        """Build an engine over an *already canonical* ranked edge list.
+
+        Skips canonicalisation entirely (the experiment sweeps prepare their
+        workloads once); triangles are reported in rank space, i.e. labels
+        are the ranks themselves.
+        """
+        engine = cls.__new__(cls)
+        edges = edges if isinstance(edges, list) else list(edges)
+        if validate:
+            check_canonical_edges(edges)
+        engine._order = None
+        engine._edges = edges
+        engine._num_vertices = 0
+        engine.default_params = params
+        return engine
+
+    # ------------------------------------------------------------------
+    # prepared-graph introspection
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> DegreeOrder | None:
+        """The canonical degree order (``None`` for canonical-edge engines)."""
+        return self._order
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        """The canonical ranked edge list shared by every run."""
+        return self._edges
+
+    @property
+    def num_edges(self) -> int:
+        """Number of canonical edges."""
+        return len(self._edges)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (0 when built from canonical edges)."""
+        return self._num_vertices
+
+    # ------------------------------------------------------------------
+    # running configurations
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        algorithm: str = "cache_aware",
+        *,
+        params: MachineParams | None = None,
+        seed: int = 0,
+        sink: TriangleSink | None = None,
+        collect: bool = False,
+        options: AlgorithmOptions | Mapping[str, Any] | None = None,
+        **option_kwargs: Any,
+    ) -> RunResult:
+        """Run one configuration against the prepared graph.
+
+        Each call simulates a fresh machine (fresh I/O counters), so results
+        of successive runs are independent and comparable.  ``sink`` receives
+        every triangle in original vertex labels as it is emitted;
+        ``collect=True`` materialises the triangle list on the result.  With
+        neither, only the count is computed and the per-triangle rank→label
+        translation is skipped entirely (the fast path used by sweeps).
+        ``options`` is the algorithm's typed options dataclass or a mapping
+        validated against it; loose keyword arguments are accepted too.
+        """
+        spec = get_algorithm(algorithm)
+        resolved = spec.resolve_options(options, option_kwargs)
+        run_params = params or self.default_params or MachineParams.default()
+
+        collector = _LabelCollector() if collect else None
+        inner: TriangleSink | None
+        if sink is not None and collector is not None:
+            inner = _TeeSink(sink, collector)
+        elif sink is not None:
+            inner = sink
+        elif collector is not None:
+            inner = collector
+        else:
+            inner = None
+
+        ranked_sink: Any
+        if inner is None:
+            ranked_sink = CountingSink()
+        elif self._order is not None:
+            ranked_sink = _TranslatingSink(inner, self._order)
+        else:
+            ranked_sink = _CountingForwarder(inner)
+
+        stats = IOStats()
+        started = time.perf_counter()
+        context = SubstrateContext(params=run_params, stats=stats, seed=seed)
+        disk_peak = 0
+        phases: dict[str, int] | None = None
+        if spec.substrate == "machine":
+            machine = Machine(run_params, stats)
+            context.machine = machine
+            context.edge_file = edges_to_file(machine, self._edges)
+            report = spec.runner(context, ranked_sink, resolved)
+            disk_peak = machine.disk.peak_words
+            phases = machine.stats.phases
+        elif spec.substrate == "oblivious-vm":
+            vm = ObliviousVM(run_params, stats)
+            context.vm = vm
+            context.edge_vector = edges_to_vector(vm, self._edges)
+            report = spec.runner(context, ranked_sink, resolved)
+            disk_peak = vm.peak_words
+        else:  # in-memory
+            context.edges = self._edges
+            report = spec.runner(context, ranked_sink, resolved)
+        elapsed = time.perf_counter() - started
+
+        return RunResult(
+            algorithm=algorithm,
+            params=run_params,
+            num_edges=len(self._edges),
+            triangle_count=ranked_sink.count,
+            io=stats.snapshot(),
+            disk_peak_words=disk_peak,
+            wall_time_seconds=elapsed,
+            num_vertices=self._num_vertices,
+            triangles=collector.triangles if collector is not None else None,
+            report=report,
+            phases=phases,
+            order=self._order,
+        )
+
+    def count(
+        self,
+        algorithm: str = "cache_aware",
+        *,
+        params: MachineParams | None = None,
+        seed: int = 0,
+        options: AlgorithmOptions | Mapping[str, Any] | None = None,
+        **option_kwargs: Any,
+    ) -> int:
+        """Number of triangles (count-only fast path; no translation)."""
+        result = self.run(
+            algorithm,
+            params=params,
+            seed=seed,
+            collect=False,
+            options=options,
+            **option_kwargs,
+        )
+        return result.triangle_count
+
+    def stream(
+        self,
+        algorithm: str = "cache_aware",
+        *,
+        params: MachineParams | None = None,
+        seed: int = 0,
+        batch_size: int = 1024,
+        options: AlgorithmOptions | Mapping[str, Any] | None = None,
+        **option_kwargs: Any,
+    ) -> Iterator[list[tuple[Any, Any, Any]]]:
+        """Iterate over the run's triangles as label-triangle batches.
+
+        The algorithm runs on a worker thread and pushes batches of at most
+        ``batch_size`` triangles across a bounded queue; the consumer holds
+        one batch at a time.  Abandoning the iterator early (``break``,
+        ``close()``) tears the worker down.  Exceptions raised by the run are
+        re-raised at the consuming side.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        out: "queue_module.Queue[tuple[str, Any]]" = queue_module.Queue(maxsize=4)
+        stop = threading.Event()
+        batching = _StreamBatchSink(out, batch_size, stop)
+
+        def work() -> None:
+            try:
+                self.run(
+                    algorithm,
+                    params=params,
+                    seed=seed,
+                    sink=batching,
+                    collect=False,
+                    options=options,
+                    **option_kwargs,
+                )
+                batching.flush()
+                out.put(("done", None))
+            except _StreamClosed:
+                pass
+            except BaseException as error:  # propagated to the consumer
+                # Retry past a momentarily-full queue (a slow consumer still
+                # draining batches); give up only once the consumer is gone.
+                while not stop.is_set():
+                    try:
+                        out.put(("error", error), timeout=0.1)
+                        break
+                    except queue_module.Full:
+                        continue
+
+        worker = threading.Thread(target=work, name="triangle-stream", daemon=True)
+        worker.start()
+        try:
+            while True:
+                kind, payload = out.get()
+                if kind == "batch":
+                    yield payload
+                elif kind == "done":
+                    return
+                else:
+                    raise payload
+        finally:
+            stop.set()
+            while worker.is_alive():
+                try:
+                    out.get_nowait()
+                except queue_module.Empty:
+                    worker.join(timeout=0.05)
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def run_many(
+        self,
+        configurations: Iterable[tuple[str, Mapping[str, Any]]],
+    ) -> list[RunResult]:
+        """Run several ``(algorithm, run_kwargs)`` configurations in order."""
+        return [self.run(algorithm, **dict(kwargs)) for algorithm, kwargs in configurations]
+
+    def to_labels(self, triangle: tuple[int, int, int]) -> tuple[Any, Any, Any]:
+        """Translate a ranked triangle to original labels (identity if none)."""
+        if self._order is None:
+            return triangle
+        return self._order.to_labels(triangle)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TriangleEngine(E={self.num_edges}, "
+            f"canonicalised={'yes' if self._order is not None else 'pre'})"
+        )

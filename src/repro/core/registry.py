@@ -1,0 +1,275 @@
+"""The declarative algorithm registry behind the public API.
+
+Every triangle-enumeration algorithm in the package is described by one
+:class:`AlgorithmSpec` -- its name, the paper section it implements, its
+I/O bound, which substrate it runs on (the explicit cache-aware
+:class:`~repro.extmem.machine.Machine`, the cache-oblivious
+:class:`~repro.extmem.oblivious.ObliviousVM`, or plain internal memory),
+whether it consumes a random seed, and a *typed options dataclass* that
+validates per-algorithm knobs up front.  Specs are registered with the
+:func:`register_algorithm` decorator (see :mod:`repro.core.algorithms` for
+the seven built-in registrations) and consumed by
+:class:`repro.core.engine.TriangleEngine`, which replaced the two
+hard-coded ``if/elif`` dispatch chains the repo used to have.
+
+Third-party algorithms plug in the same way::
+
+    from repro.core.registry import AlgorithmOptions, register_algorithm
+
+    @register_algorithm(
+        "my_algorithm",
+        summary="...",
+        section="-",
+        io_bound="O(...)",
+        substrate="machine",
+        accepts_seed=True,
+    )
+    def _run_mine(context, sink, options):
+        return my_algorithm(context.machine, context.edge_file, sink)
+
+and are immediately runnable through the engine, ``enumerate_triangles``,
+``run_on_edges``, the CLI and the experiment orchestrator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from repro.exceptions import AlgorithmError, OptionsError, RegistrationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.model import MachineParams
+    from repro.extmem.disk import ExtFile
+    from repro.extmem.machine import Machine
+    from repro.extmem.oblivious import ExtVector, ObliviousVM
+    from repro.extmem.stats import IOStats
+
+#: The substrate kinds an algorithm may declare.
+SUBSTRATES = ("machine", "oblivious-vm", "in-memory")
+
+
+@dataclass(frozen=True)
+class AlgorithmOptions:
+    """Base class for per-algorithm typed options.
+
+    Subclasses are plain (frozen) dataclasses whose fields are the
+    algorithm's knobs.  :meth:`from_mapping` builds an instance from the
+    untyped dictionaries that arrive over the CLI / experiment-spec / JSON
+    boundary, rejecting unknown keys, and :meth:`validate` (overridden per
+    subclass) checks types and ranges.  Both raise
+    :class:`repro.exceptions.OptionsError`.
+    """
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "AlgorithmOptions":
+        """Build validated options from an untyped mapping."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(mapping) - known)
+        if unknown:
+            accepted = ", ".join(sorted(known)) if known else "none"
+            raise OptionsError(
+                f"unknown option(s) {', '.join(map(repr, unknown))} for {cls.__name__}; "
+                f"accepted: {accepted}"
+            )
+        instance = cls(**dict(mapping))
+        instance.validate()
+        return instance
+
+    def validate(self) -> None:
+        """Check field types and ranges; subclasses override."""
+
+    def _require_optional_positive_int(self, name: str, minimum: int = 1) -> None:
+        """Shared check: field must be ``None`` or an ``int >= minimum``."""
+        value = getattr(self, name)
+        if value is None:
+            return
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise OptionsError(f"{name} must be an int or None, got {value!r}")
+        if value < minimum:
+            raise OptionsError(f"{name} must be >= {minimum}, got {value}")
+
+    def to_mapping(self) -> dict[str, Any]:
+        """The options as a plain dict (only fields that differ may matter)."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+
+@dataclass(frozen=True)
+class NoOptions(AlgorithmOptions):
+    """Options type of algorithms that take no knobs."""
+
+
+@dataclass
+class SubstrateContext:
+    """Everything an algorithm adapter needs to run one configuration.
+
+    Built by the engine per run: exactly one of ``machine``/``edge_file``
+    (substrate ``machine``), ``vm``/``edge_vector`` (substrate
+    ``oblivious-vm``) or ``edges`` (substrate ``in-memory``) is populated,
+    according to the spec's declared substrate kind.
+    """
+
+    params: "MachineParams"
+    stats: "IOStats"
+    seed: int
+    machine: "Machine | None" = None
+    edge_file: "ExtFile | None" = None
+    vm: "ObliviousVM | None" = None
+    edge_vector: "ExtVector | None" = None
+    edges: list[tuple[int, int]] | None = None
+
+
+#: Adapter signature: ``(context, sink, options) -> report``.
+AlgorithmRunner = Callable[[SubstrateContext, Any, AlgorithmOptions], Any]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """The declarative description of one registered algorithm."""
+
+    name: str
+    summary: str
+    section: str
+    io_bound: str
+    substrate: str
+    accepts_seed: bool
+    runner: AlgorithmRunner
+    options_type: type[AlgorithmOptions] = NoOptions
+
+    def resolve_options(
+        self,
+        options: AlgorithmOptions | Mapping[str, Any] | None,
+        extra: Mapping[str, Any] | None = None,
+    ) -> AlgorithmOptions:
+        """Normalise caller-supplied options into a validated instance.
+
+        ``options`` may be an instance of :attr:`options_type`, an untyped
+        mapping, or ``None``; ``extra`` holds loose keyword arguments from
+        the back-compat ``**algorithm_options`` entry points.  The two forms
+        cannot be mixed.
+        """
+        extra = dict(extra or {})
+        if isinstance(options, AlgorithmOptions):
+            if not isinstance(options, self.options_type):
+                raise OptionsError(
+                    f"algorithm {self.name!r} takes {self.options_type.__name__}, "
+                    f"got {type(options).__name__}"
+                )
+            if extra:
+                raise OptionsError(
+                    "pass options either as a dataclass or as keyword arguments, not both: "
+                    f"stray keywords {sorted(extra)}"
+                )
+            options.validate()
+            return options
+        merged = dict(options or {})
+        overlap = sorted(set(merged) & set(extra))
+        if overlap:
+            raise OptionsError(f"option(s) given both in mapping and as keywords: {overlap}")
+        merged.update(extra)
+        return self.options_type.from_mapping(merged)
+
+    def options_schema(self) -> list[dict[str, Any]]:
+        """The options fields as ``{name, type, default}`` rows (for the CLI)."""
+        rows: list[dict[str, Any]] = []
+        for f in dataclasses.fields(self.options_type):
+            default: Any
+            if f.default is not dataclasses.MISSING:
+                default = f.default
+            elif f.default_factory is not dataclasses.MISSING:  # pragma: no cover - none yet
+                default = f.default_factory()
+            else:  # pragma: no cover - all current options have defaults
+                default = None
+            rows.append({"name": f.name, "type": str(f.type), "default": default})
+        return rows
+
+
+#: Registered specs in registration order (which the CLI preserves).
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+
+
+def register_algorithm(
+    name: str,
+    *,
+    summary: str,
+    section: str,
+    io_bound: str,
+    substrate: str,
+    accepts_seed: bool,
+    options: type[AlgorithmOptions] = NoOptions,
+) -> Callable[[AlgorithmRunner], AlgorithmRunner]:
+    """Register an algorithm adapter under ``name`` and return it unchanged.
+
+    Raises :class:`repro.exceptions.RegistrationError` for duplicate names,
+    unknown substrate kinds or options types that are not
+    :class:`AlgorithmOptions` dataclasses.
+    """
+    if substrate not in SUBSTRATES:
+        raise RegistrationError(
+            f"algorithm {name!r} declares unknown substrate {substrate!r}; "
+            f"expected one of {', '.join(SUBSTRATES)}"
+        )
+    if not (isinstance(options, type) and issubclass(options, AlgorithmOptions)):
+        raise RegistrationError(
+            f"algorithm {name!r}: options must be an AlgorithmOptions subclass, got {options!r}"
+        )
+
+    def register(runner: AlgorithmRunner) -> AlgorithmRunner:
+        # Load the built-ins before the duplicate check, so a third-party
+        # registration cannot claim a built-in name while the registry is
+        # still empty (which would poison the deferred built-in import).
+        # Re-entrant registrations from repro.core.algorithms itself are
+        # fine: the module is already in sys.modules mid-import, so
+        # _ensure_builtins is a no-op for them.
+        _ensure_builtins()
+        if name in _REGISTRY:
+            raise RegistrationError(f"algorithm {name!r} is already registered")
+        _REGISTRY[name] = AlgorithmSpec(
+            name=name,
+            summary=summary,
+            section=section,
+            io_bound=io_bound,
+            substrate=substrate,
+            accepts_seed=accepts_seed,
+            runner=runner,
+            options_type=options,
+        )
+        return runner
+
+    return register
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a registration (tests register throwaway algorithms)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up a spec by name, raising :class:`AlgorithmError` if missing."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def algorithm_names() -> list[str]:
+    """Names of all registered algorithms, in registration order."""
+    _ensure_builtins()
+    return list(_REGISTRY)
+
+
+def algorithm_specs() -> list[AlgorithmSpec]:
+    """All registered specs, in registration order."""
+    _ensure_builtins()
+    return list(_REGISTRY.values())
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in registrations exactly once (idempotent)."""
+    # Imported lazily to break the cycle registry -> algorithms -> core.* ->
+    # (nothing back here); the module body runs once thanks to sys.modules.
+    import repro.core.algorithms  # noqa: F401

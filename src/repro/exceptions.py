@@ -39,6 +39,24 @@ class AlgorithmError(ReproError):
     """Raised when an enumeration algorithm is invoked with unusable input."""
 
 
+class RegistrationError(ReproError):
+    """Raised when an algorithm registration is malformed.
+
+    Registering two algorithms under the same name, or declaring an unknown
+    substrate kind, is a programming error in the registering module; it is
+    reported eagerly at import time rather than at dispatch time.
+    """
+
+
+class OptionsError(AlgorithmError):
+    """Raised when per-algorithm options fail typed validation.
+
+    Covers unknown option names (the old ``**kwargs`` pass-through turned
+    these into late ``TypeError``s deep inside an algorithm) as well as
+    values of the wrong type or out of range.
+    """
+
+
 class DerandomizationError(AlgorithmError):
     """Raised when the greedy derandomization cannot certify its potential.
 

@@ -1,46 +1,22 @@
-"""Running one algorithm on one workload on one machine configuration."""
+"""Running one algorithm on one workload on one machine configuration.
+
+Since the engine refactor this module is a thin façade over
+:class:`repro.core.engine.TriangleEngine`: the experiment sweeps hand it an
+already-canonical edge list, it builds an identity-label engine (no
+canonicalisation, no translation) and runs the count-only fast path.  The
+:class:`RunResult` re-exported here is the package-wide unified result type
+from :mod:`repro.core.result`.
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
 from typing import Any
 
 from repro.analysis.model import MachineParams
-from repro.core.baselines.bnlj import block_nested_loop_join
-from repro.core.baselines.dementiev import dementiev_sort_based
-from repro.core.baselines.hu_tao_chung import hu_tao_chung
-from repro.core.cache_aware import cache_aware_randomized
-from repro.core.cache_oblivious import cache_oblivious_randomized
-from repro.core.derandomized import deterministic_cache_aware
-from repro.core.emit import CountingSink
-from repro.exceptions import AlgorithmError
-from repro.extmem.machine import Machine
-from repro.extmem.oblivious import ObliviousVM
-from repro.extmem.stats import IOStats
-from repro.graph.io import edges_to_file, edges_to_vector
+from repro.core.engine import TriangleEngine
+from repro.core.result import RunResult
 
-
-@dataclass
-class RunResult:
-    """Measurements of one algorithm run on one canonical edge list."""
-
-    algorithm: str
-    params: MachineParams
-    num_edges: int
-    triangles: int
-    reads: int
-    writes: int
-    operations: int
-    disk_peak_words: int
-    wall_time_seconds: float
-    report: Any = None
-    phases: dict[str, int] | None = None
-
-    @property
-    def total_ios(self) -> int:
-        """Total simulated block transfers."""
-        return self.reads + self.writes
+__all__ = ["RunResult", "run_on_edges"]
 
 
 def run_on_edges(
@@ -54,48 +30,10 @@ def run_on_edges(
 
     Unlike :func:`repro.core.api.enumerate_triangles` this skips graph
     canonicalisation and triangle collection, which keeps parameter sweeps
-    fast; it is the entry point used by the experiments and benchmarks.
+    fast; it is the entry point used by the experiments and benchmarks.  For
+    several runs over the *same* edge list, build one
+    :meth:`TriangleEngine.from_canonical_edges` and call
+    :meth:`~repro.core.engine.TriangleEngine.run` repeatedly instead.
     """
-    stats = IOStats()
-    sink = CountingSink()
-    started = time.perf_counter()
-    report: Any = None
-    phases: dict[str, int] | None = None
-
-    if algorithm == "cache_oblivious":
-        vm = ObliviousVM(params, stats)
-        vector = edges_to_vector(vm, edges)
-        report = cache_oblivious_randomized(vm, vector, sink, seed=seed, **options)
-        disk_peak = vm.peak_words
-    else:
-        machine = Machine(params, stats)
-        edge_file = edges_to_file(machine, edges)
-        if algorithm == "cache_aware":
-            report = cache_aware_randomized(machine, edge_file, sink, seed=seed, **options)
-        elif algorithm == "deterministic":
-            report = deterministic_cache_aware(machine, edge_file, sink, **options)
-        elif algorithm == "hu_tao_chung":
-            report = hu_tao_chung(machine, edge_file, sink, **options)
-        elif algorithm == "dementiev":
-            report = dementiev_sort_based(machine, edge_file, sink, **options)
-        elif algorithm == "bnlj":
-            report = block_nested_loop_join(machine, edge_file, sink, **options)
-        else:
-            raise AlgorithmError(f"unknown algorithm {algorithm!r}")
-        disk_peak = machine.disk.peak_words
-        phases = machine.stats.phases
-
-    elapsed = time.perf_counter() - started
-    return RunResult(
-        algorithm=algorithm,
-        params=params,
-        num_edges=len(edges),
-        triangles=sink.count,
-        reads=stats.reads,
-        writes=stats.writes,
-        operations=stats.operations,
-        disk_peak_words=disk_peak,
-        wall_time_seconds=elapsed,
-        report=report,
-        phases=phases,
-    )
+    engine = TriangleEngine.from_canonical_edges(edges, params=params, validate=False)
+    return engine.run(algorithm, seed=seed, collect=False, options=options)

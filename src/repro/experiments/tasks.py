@@ -104,11 +104,15 @@ def summarize_report(report: Any) -> dict[str, Any] | None:
 
 
 def result_to_dict(result: RunResult, workload_name: str) -> dict[str, Any]:
-    """Flatten a :class:`RunResult` into the artifact result schema."""
+    """Flatten a :class:`RunResult` into the artifact result schema.
+
+    The artifact schema predates the unified result type: its ``triangles``
+    field is the *count* (sweeps never collect the triangle list).
+    """
     return {
         "workload": workload_name,
         "num_edges": result.num_edges,
-        "triangles": result.triangles,
+        "triangles": result.triangle_count,
         "reads": result.reads,
         "writes": result.writes,
         "operations": result.operations,

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from repro.analysis.model import MachineParams
-from repro.core.api import enumerate_triangles
+from repro.core.engine import TriangleEngine
 from repro.graph.graph import Graph
 
 Vertex = Hashable
@@ -64,12 +64,17 @@ def triangle_statistics(
     algorithm: str = "cache_aware",
     params: MachineParams | None = None,
     seed: int = 0,
+    engine: TriangleEngine | None = None,
 ) -> TriangleStatistics:
-    """Stream all triangles of ``graph`` and return the aggregated statistics."""
+    """Stream all triangles of ``graph`` and return the aggregated statistics.
+
+    Pass a prepared ``engine`` (built from the same graph) to reuse its
+    canonicalisation across several statistics runs; otherwise a throwaway
+    engine is built here.
+    """
     sink = _StatisticsSink()
-    result = enumerate_triangles(
-        graph, algorithm=algorithm, params=params, seed=seed, sink=sink, collect=False
-    )
+    engine = engine if engine is not None else TriangleEngine(graph, params=params)
+    result = engine.run(algorithm, params=params, seed=seed, sink=sink, collect=False)
     return TriangleStatistics(
         triangle_count=sink.count,
         per_vertex=sink.per_vertex,

@@ -16,7 +16,8 @@ from __future__ import annotations
 from typing import Any
 
 from repro.analysis.model import MachineParams
-from repro.core.api import EnumerationResult, enumerate_triangles
+from repro.core.engine import TriangleEngine
+from repro.core.result import EnumerationResult
 from repro.graph.graph import Graph
 from repro.joins.relation import Relation
 
@@ -57,9 +58,8 @@ def triangle_join(
     graph.add_edges(((_TAG_SHARED, y), (_TAG_SECOND, z)) for y, z in second.rows())
     graph.add_edges(((_TAG_FIRST, x), (_TAG_SECOND, z)) for x, z in third.rows())
 
-    result = enumerate_triangles(
-        graph, algorithm=algorithm, params=params, seed=seed, collect=True
-    )
+    engine = TriangleEngine(graph, params=params)
+    result = engine.run(algorithm, seed=seed, collect=True)
 
     joined = Relation(name or "triangle-join", (x_attr, y_attr, z_attr))
     assert result.triangles is not None

@@ -1,0 +1,82 @@
+"""API-surface snapshot: the public names of ``repro`` and ``repro.core``.
+
+An api_redesign-era regression net: removing or renaming a public symbol (or
+accidentally growing the surface) must be a conscious, reviewed change.  If
+this test fails because the surface changed *intentionally*, update the
+snapshots below in the same commit and call the change out in the PR.
+"""
+
+import importlib
+
+import pytest
+
+REPRO_SURFACE = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "CollectingSink",
+    "CountingSink",
+    "EnumerationResult",
+    "Graph",
+    "IOStats",
+    "MachineParams",
+    "RunResult",
+    "Triangle",
+    "TriangleEngine",
+    "__version__",
+    "algorithm_specs",
+    "count_triangles",
+    "enumerate_triangles",
+    "list_algorithms",
+    "register_algorithm",
+]
+
+REPRO_CORE_SURFACE = [
+    "ALGORITHMS",
+    "AlgorithmOptions",
+    "AlgorithmSpec",
+    "CollectingSink",
+    "CountingSink",
+    "DedupCheckingSink",
+    "EnumerationResult",
+    "RunResult",
+    "Triangle",
+    "TriangleEngine",
+    "TriangleSink",
+    "algorithm_specs",
+    "count_triangles",
+    "enumerate_triangles",
+    "get_algorithm",
+    "list_algorithms",
+    "register_algorithm",
+    "sorted_triangle",
+]
+
+
+@pytest.mark.parametrize(
+    "module_name,expected",
+    [("repro", REPRO_SURFACE), ("repro.core", REPRO_CORE_SURFACE)],
+    ids=["repro", "repro.core"],
+)
+def test_public_surface_snapshot(module_name, expected):
+    module = importlib.import_module(module_name)
+    assert sorted(module.__all__) == sorted(expected)
+    for name in expected:
+        assert getattr(module, name, None) is not None, f"{module_name}.{name} not importable"
+
+
+def test_legacy_wrappers_still_importable():
+    # The pre-engine import paths users may have pinned in scripts.
+    from repro import count_triangles, enumerate_triangles  # noqa: F401
+    from repro.core import EnumerationResult  # noqa: F401
+    from repro.core.api import ALGORITHMS, EnumerationResult  # noqa: F401, F811
+    from repro.experiments import RunResult, run_on_edges  # noqa: F401
+    from repro.experiments.runner import RunResult  # noqa: F401, F811
+
+
+def test_unified_result_type_is_shared():
+    from repro.core.api import EnumerationResult
+    from repro.core.result import RunResult
+    from repro.experiments.runner import RunResult as RunnerResult
+
+    assert EnumerationResult is RunResult
+    assert RunnerResult is RunResult

@@ -75,6 +75,65 @@ class TestCompare:
         assert len(counts) == 1
 
 
+class TestCompareCanonicalisesOnce:
+    def test_compare_uses_one_engine(self, graph_file, capsys, monkeypatch):
+        from repro.graph.graph import Graph
+
+        calls = {"count": 0}
+        original = Graph.degree_order
+
+        def counting(self):
+            calls["count"] += 1
+            return original(self)
+
+        monkeypatch.setattr(Graph, "degree_order", counting)
+        assert (
+            main(
+                [
+                    "compare",
+                    str(graph_file),
+                    "--algorithms",
+                    "cache_aware",
+                    "hu_tao_chung",
+                    "dementiev",
+                    "--memory",
+                    "64",
+                    "--block",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        assert calls["count"] == 1
+        capsys.readouterr()
+
+
+class TestAlgorithms:
+    def test_renders_every_registered_algorithm(self, capsys):
+        from repro.core.registry import algorithm_names
+
+        assert main(["algorithms"]) == 0
+        output = capsys.readouterr().out
+        for name in algorithm_names():
+            assert name in output
+        assert "oblivious-vm" in output
+        assert "I/O bound" in output
+
+    def test_verbose_prints_options_schema(self, capsys):
+        assert main(["algorithms", "--verbose"]) == 0
+        output = capsys.readouterr().out
+        assert "num_colors" in output
+        assert "max_family_size" in output
+        assert "max_depth" in output
+        assert "options: (none)" in output  # the option-less baselines
+
+    def test_help_mentions_registry_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["enumerate", "--help"])
+        output = " ".join(capsys.readouterr().out.split())
+        assert "repro algorithms" in output
+
+
 class TestStats:
     def test_stats_output(self, clique_file, capsys):
         assert main(["stats", str(clique_file), "--top", "3", "--memory", "64", "--block", "8"]) == 0

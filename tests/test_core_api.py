@@ -28,6 +28,23 @@ class TestDispatch:
         assert repro.enumerate_triangles is enumerate_triangles
         assert repro.count_triangles is count_triangles
 
+    def test_unknown_algorithm_fails_before_canonicalisation(self, monkeypatch):
+        def explode(self):
+            raise AssertionError("canonicalised before algorithm validation")
+
+        monkeypatch.setattr(Graph, "degree_order", explode)
+        with pytest.raises(AlgorithmError):
+            enumerate_triangles(clique(4), algorithm="quantum")
+        with pytest.raises(AlgorithmError):
+            count_triangles(clique(4), algorithm="quantum")
+
+    def test_algorithms_view_comparisons(self):
+        assert ALGORITHMS == dict(ALGORITHMS.items())
+        assert (ALGORITHMS != None) is True  # noqa: E711 - exercising __ne__
+        assert (ALGORITHMS == None) is False  # noqa: E711
+        assert ALGORITHMS.get("cache_aware") is not None
+        assert ALGORITHMS.get("quantum") is None
+
     @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
     def test_every_algorithm_agrees_with_oracle(self, algorithm):
         graph = erdos_renyi_gnm(40, 150, seed=3)

@@ -1,0 +1,205 @@
+"""Tests for the reusable TriangleEngine (repro.core.engine)."""
+
+import math
+
+import pytest
+
+from repro.analysis.model import MachineParams
+from repro.core.api import enumerate_triangles
+from repro.core.emit import CollectingSink
+from repro.core.engine import TriangleEngine
+from repro.exceptions import GraphFormatError, OptionsError
+from repro.graph.graph import DegreeOrder, Graph
+from repro.graph.generators import clique, erdos_renyi_gnm
+
+SMALL_PARAMS = MachineParams(memory_words=64, block_words=8)
+ALL_ALGORITHMS = [
+    "cache_aware",
+    "deterministic",
+    "cache_oblivious",
+    "hu_tao_chung",
+    "dementiev",
+    "bnlj",
+    "in_memory",
+]
+
+
+class TestCanonicaliseOnce:
+    def test_three_runs_canonicalise_exactly_once(self, monkeypatch):
+        calls = {"count": 0}
+        original = Graph.degree_order
+
+        def counting(self):
+            calls["count"] += 1
+            return original(self)
+
+        monkeypatch.setattr(Graph, "degree_order", counting)
+        engine = TriangleEngine(erdos_renyi_gnm(30, 90, seed=2), params=SMALL_PARAMS)
+        for algorithm in ("cache_aware", "hu_tao_chung", "dementiev"):
+            engine.run(algorithm, seed=1)
+        assert calls["count"] == 1
+
+    def test_one_shot_wrapper_canonicalises_per_call(self, monkeypatch):
+        calls = {"count": 0}
+        original = Graph.degree_order
+
+        def counting(self):
+            calls["count"] += 1
+            return original(self)
+
+        monkeypatch.setattr(Graph, "degree_order", counting)
+        graph = erdos_renyi_gnm(30, 90, seed=2)
+        enumerate_triangles(graph, algorithm="hu_tao_chung", params=SMALL_PARAMS)
+        enumerate_triangles(graph, algorithm="hu_tao_chung", params=SMALL_PARAMS)
+        assert calls["count"] == 2
+
+
+class TestBitIdenticalCounters:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_engine_reuse_matches_one_shot(self, algorithm):
+        graph = erdos_renyi_gnm(40, 150, seed=3)
+        one_shot = enumerate_triangles(graph, algorithm=algorithm, params=SMALL_PARAMS, seed=1)
+        engine = TriangleEngine(graph, params=SMALL_PARAMS)
+        # Burn a first run so the second exercises true engine *reuse*.
+        engine.run(algorithm, seed=1)
+        reused = engine.run(algorithm, seed=1, collect=True)
+        assert reused.io == one_shot.io
+        assert reused.triangle_count == one_shot.triangle_count
+        assert reused.disk_peak_words == one_shot.disk_peak_words
+        assert sorted(map(tuple, map(sorted, reused.triangles))) == sorted(
+            map(tuple, map(sorted, one_shot.triangles))
+        )
+
+    def test_count_only_fast_path_counters_unchanged(self):
+        graph = erdos_renyi_gnm(40, 150, seed=3)
+        engine = TriangleEngine(graph, params=SMALL_PARAMS)
+        collected = engine.run("cache_aware", seed=1, collect=True)
+        counted = engine.run("cache_aware", seed=1, collect=False)
+        assert counted.io == collected.io
+        assert counted.triangle_count == collected.triangle_count
+        assert counted.triangles is None
+
+    def test_count_only_fast_path_skips_translation(self, monkeypatch):
+        def explode(self, triangle):
+            raise AssertionError("rank->label translation must be skipped when counting")
+
+        monkeypatch.setattr(DegreeOrder, "to_labels", explode)
+        engine = TriangleEngine(clique(8), params=SMALL_PARAMS)
+        assert engine.count("cache_aware", seed=1) == math.comb(8, 3)
+
+
+class TestResults:
+    def test_machine_runs_report_phases_in_both_paths(self):
+        graph = erdos_renyi_gnm(40, 150, seed=3)
+        engine_result = TriangleEngine(graph, params=SMALL_PARAMS).run("cache_aware", seed=1)
+        wrapper_result = enumerate_triangles(
+            graph, algorithm="cache_aware", params=SMALL_PARAMS, seed=1
+        )
+        assert engine_result.phases and "triples" in engine_result.phases
+        assert wrapper_result.phases == engine_result.phases
+
+    def test_non_machine_runs_have_no_phases(self):
+        engine = TriangleEngine(clique(6), params=SMALL_PARAMS)
+        assert engine.run("cache_oblivious", seed=1).phases is None
+        assert engine.run("in_memory").phases is None
+
+    def test_result_views_delegate_to_snapshot(self):
+        result = TriangleEngine(clique(8), params=SMALL_PARAMS).run("cache_aware", seed=1)
+        assert result.reads == result.io.reads
+        assert result.writes == result.io.writes
+        assert result.operations == result.io.operations
+        assert result.total_ios == result.io.total
+
+    def test_default_params_fall_back(self):
+        engine = TriangleEngine(clique(6))
+        assert engine.run("in_memory").params == MachineParams.default()
+        override = MachineParams(128, 8)
+        assert engine.run("in_memory", params=override).params == override
+
+    def test_sink_and_collect_tee(self):
+        sink = CollectingSink()
+        engine = TriangleEngine(Graph(edges=[(10, 20), (20, 30), (10, 30)]), params=SMALL_PARAMS)
+        result = engine.run("cache_aware", sink=sink, collect=True)
+        assert sink.as_set() == {(10, 20, 30)}
+        assert result.triangles == [(10, 20, 30)]
+
+    def test_run_many(self):
+        engine = TriangleEngine(clique(8), params=SMALL_PARAMS)
+        results = engine.run_many([("cache_aware", {"seed": 1}), ("hu_tao_chung", {})])
+        assert [r.algorithm for r in results] == ["cache_aware", "hu_tao_chung"]
+        assert all(r.triangle_count == math.comb(8, 3) for r in results)
+
+    def test_invalid_options_rejected_before_running(self):
+        engine = TriangleEngine(clique(6), params=SMALL_PARAMS)
+        with pytest.raises(OptionsError):
+            engine.run("cache_aware", num_colors=-1)
+        with pytest.raises(OptionsError):
+            engine.run("bnlj", num_colors=2)
+
+
+class TestCanonicalEdgeEngines:
+    def test_identity_labels(self):
+        edges = [(0, 1), (0, 2), (1, 2)]
+        engine = TriangleEngine.from_canonical_edges(edges, params=SMALL_PARAMS)
+        result = engine.run("cache_aware", collect=True)
+        assert result.triangles == [(0, 1, 2)]
+        assert result.order is None
+        assert engine.to_labels((0, 1, 2)) == (0, 1, 2)
+
+    def test_validation_rejects_non_canonical(self):
+        with pytest.raises(GraphFormatError):
+            TriangleEngine.from_canonical_edges([(2, 1)], params=SMALL_PARAMS)
+
+    def test_sink_receives_rank_triangles(self):
+        sink = CollectingSink()
+        edges = [(0, 1), (0, 2), (1, 2)]
+        engine = TriangleEngine.from_canonical_edges(edges, params=SMALL_PARAMS)
+        result = engine.run("hu_tao_chung", sink=sink)
+        assert sink.as_set() == {(0, 1, 2)}
+        assert result.triangle_count == 1
+
+
+class TestStreaming:
+    def test_stream_matches_collected(self):
+        graph = erdos_renyi_gnm(40, 150, seed=3)
+        engine = TriangleEngine(graph, params=SMALL_PARAMS)
+        collected = engine.run("cache_aware", seed=1, collect=True).triangles
+        streamed = [
+            triangle
+            for batch in engine.stream("cache_aware", seed=1, batch_size=7)
+            for triangle in batch
+        ]
+        assert sorted(map(tuple, map(sorted, streamed))) == sorted(
+            map(tuple, map(sorted, collected))
+        )
+
+    def test_batches_respect_batch_size(self):
+        engine = TriangleEngine(clique(10), params=SMALL_PARAMS)
+        batches = list(engine.stream("in_memory", batch_size=16))
+        assert all(len(batch) <= 16 for batch in batches)
+        assert sum(len(batch) for batch in batches) == math.comb(10, 3)
+
+    def test_batches_respect_batch_size_through_emit_many(self):
+        # The cache-aware algorithm emits through the batched emit_many
+        # path with batches of its own sizing; the stream sink must
+        # re-chunk them to the consumer's bound.
+        engine = TriangleEngine(clique(12), params=SMALL_PARAMS)
+        batches = list(engine.stream("cache_aware", seed=1, batch_size=16))
+        assert all(len(batch) <= 16 for batch in batches)
+        assert sum(len(batch) for batch in batches) == math.comb(12, 3)
+
+    def test_early_close_does_not_hang(self):
+        engine = TriangleEngine(clique(12), params=SMALL_PARAMS)
+        stream = engine.stream("in_memory", batch_size=1)
+        assert len(next(stream)) == 1
+        stream.close()  # must tear the worker down without blocking
+
+    def test_errors_propagate_to_consumer(self):
+        engine = TriangleEngine(clique(6), params=SMALL_PARAMS)
+        with pytest.raises(OptionsError):
+            list(engine.stream("cache_aware", nonsense=1))
+
+    def test_batch_size_validated(self):
+        engine = TriangleEngine(clique(6), params=SMALL_PARAMS)
+        with pytest.raises(ValueError):
+            next(engine.stream("in_memory", batch_size=0))

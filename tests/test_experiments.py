@@ -76,7 +76,7 @@ class TestRunner:
         expected = count_triangles_in_memory(workload.edges)
         for algorithm in ("cache_aware", "hu_tao_chung", "dementiev"):
             result = run_on_edges(workload.edges, algorithm, PARAMS, seed=1)
-            assert result.triangles == expected
+            assert result.triangle_count == expected
             assert result.total_ios == result.reads + result.writes
             assert result.num_edges == workload.num_edges
 
@@ -84,7 +84,7 @@ class TestRunner:
         workload = sparse_random(120)
         expected = count_triangles_in_memory(workload.edges)
         result = run_on_edges(workload.edges, "cache_oblivious", PARAMS, seed=1)
-        assert result.triangles == expected
+        assert result.triangle_count == expected
         assert result.phases is None
 
     def test_run_on_edges_reports_phases_for_cache_aware(self):

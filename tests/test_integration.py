@@ -32,7 +32,7 @@ class TestEndToEndScaling:
         ours = run_on_edges(workload.edges, "cache_aware", params, seed=0)
         baseline = run_on_edges(workload.edges, "hu_tao_chung", params, seed=0)
         assert ours.total_ios < baseline.total_ios
-        assert ours.triangles == baseline.triangles
+        assert ours.triangle_count == baseline.triangle_count
 
     def test_hu_tao_chung_wins_when_edges_nearly_fit_in_memory(self):
         """The crossover the paper acknowledges: for E close to M the simpler
@@ -73,7 +73,7 @@ class TestEndToEndScaling:
         lower = lower_bound_io(triangles, params)
         for algorithm in ("cache_aware", "deterministic", "hu_tao_chung", "dementiev", "bnlj"):
             result = run_on_edges(workload.edges, algorithm, params, seed=0)
-            assert result.triangles == triangles
+            assert result.triangle_count == triangles
             assert result.total_ios >= lower
 
     def test_predicted_ordering_matches_measured_ordering_at_scale(self):
@@ -108,7 +108,7 @@ class TestResourceContracts:
         workload = sparse_random(400)
         result = run_on_edges(workload.edges, "hu_tao_chung", params, seed=0)
         oracle = run_on_edges(workload.edges, "cache_aware", MachineParams(512, 16), seed=0)
-        assert result.triangles == oracle.triangles
+        assert result.triangle_count == oracle.triangle_count
 
     def test_lemma1_cost_tracks_sort_cost_as_e_grows(self):
         """Lemma 1 is O(sort(E)): the measured/sort(E) ratio stays in a band."""
