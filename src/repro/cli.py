@@ -42,7 +42,7 @@ from typing import Sequence
 from repro import __version__
 from repro.analysis.model import MachineParams
 from repro.core.engine import TriangleEngine
-from repro.core.registry import algorithm_names, algorithm_specs
+from repro.core.registry import algorithm_names, algorithm_specs, get_algorithm
 from repro.graph.files import read_edge_list, write_edge_list
 from repro.graph.generators import (
     chung_lu_power_law,
@@ -64,6 +64,17 @@ def _default_compare_algorithms() -> list[str]:
     oracle (no I/O to compare) are opt-in.
     """
     return [spec.name for spec in algorithm_specs() if spec.substrate == "machine"]
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for knobs that must be >= 1 (``--shards``, ``--jobs``)."""
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return number
 
 
 def _algorithm_help(default: str | None = None) -> str:
@@ -111,6 +122,22 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=available,
         default=_default_compare_algorithms(),
         help="algorithms to compare (default: every explicit-machine algorithm)",
+    )
+    compare_parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        metavar="C",
+        help="colour-shard each run into C-colour triples (default: serial, "
+        "or C=N when --jobs N is given)",
+    )
+    compare_parser.add_argument(
+        "--jobs",
+        "-j",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes per sharded run (default 1; results are "
+        "bit-identical for any N)",
     )
     _add_machine_arguments(compare_parser)
 
@@ -191,16 +218,35 @@ def _command_enumerate(arguments: argparse.Namespace) -> int:
 def _command_compare(arguments: argparse.Namespace) -> int:
     graph = read_edge_list(arguments.graph)
     params = _machine_params(arguments)
+    # ``--jobs N`` without an explicit shard count shards by N colours, so
+    # that asking for parallelism alone does something useful; the printed
+    # table is bit-identical for any N at a fixed shard count.
+    shards = arguments.shards
+    if shards is None and arguments.jobs > 1:
+        shards = arguments.jobs
     # One engine: the graph is canonicalised once and shared by every run.
     engine = TriangleEngine(graph, params=params)
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
     print(f"machine: M={params.memory_words}, B={params.block_words}")
+    if shards is not None:
+        print(f"sharding: {shards} colours ({shards ** 3} colour triples max)")
     print(f"{'algorithm':16s} {'triangles':>10s} {'I/Os':>12s} {'reads':>10s} {'writes':>10s}")
     for algorithm in arguments.algorithms:
-        result = engine.run(algorithm, seed=arguments.seed, collect=False)
+        # Sharding is only defined for explicit-machine algorithms; an
+        # opted-in oblivious/in-memory algorithm simply runs serially
+        # instead of aborting the sweep mid-table.
+        shardable = get_algorithm(algorithm).substrate == "machine"
+        result = engine.run(
+            algorithm,
+            seed=arguments.seed,
+            collect=False,
+            shards=shards if shardable else None,
+            jobs=arguments.jobs if shardable else 1,
+        )
+        suffix = "" if shardable or shards is None else "  (serial: not a machine algorithm)"
         print(
             f"{algorithm:16s} {result.triangle_count:10d} {result.io.total:12d} "
-            f"{result.io.reads:10d} {result.io.writes:10d}"
+            f"{result.io.reads:10d} {result.io.writes:10d}{suffix}"
         )
     return 0
 

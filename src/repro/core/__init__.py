@@ -25,6 +25,7 @@ from repro.core.engine import TriangleEngine
 from repro.core.registry import (
     AlgorithmOptions,
     AlgorithmSpec,
+    ShardingOptions,
     algorithm_specs,
     get_algorithm,
     register_algorithm,
@@ -40,6 +41,7 @@ __all__ = [
     "DedupCheckingSink",
     "EnumerationResult",
     "RunResult",
+    "ShardingOptions",
     "Triangle",
     "TriangleEngine",
     "TriangleSink",

@@ -83,10 +83,16 @@ class CacheObliviousOptions(AlgorithmOptions):
     substrate="machine",
     accepts_seed=True,
     options=CacheAwareOptions,
+    sharding="triples",
 )
 def _run_cache_aware(context: SubstrateContext, sink: Any, options: CacheAwareOptions) -> Any:
     return cache_aware_randomized(
-        context.machine, context.edge_file, sink, seed=context.seed, num_colors=options.num_colors
+        context.machine,
+        context.edge_file,
+        sink,
+        seed=context.seed,
+        num_colors=options.num_colors,
+        triples_executor=context.triples_executor,
     )
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 from repro.analysis.bounds import colour_count, high_degree_threshold
 from repro.core.emit import TriangleSink
@@ -216,24 +217,26 @@ def partition_by_coloring(
 # ----------------------------------------------------------------------
 # step 3: triple enumeration
 # ----------------------------------------------------------------------
-def enumerate_colored_triples(
-    machine: Machine,
-    slices: dict[ColorPair, FileSlice],
-    coloring: Coloring,
-    sink: TriangleSink,
-) -> int:
-    """Run Lemma 2 for every colour triple ``(tau1, tau2, tau3)``.
+ColorTriple = tuple[int, int, int]
 
-    The pivot set is ``E_{tau2,tau3}``; the adjacency sources are the up-to
-    three distinct classes touching the triple; only triangles whose cone
-    vertex has colour ``tau1`` are emitted, which makes every triangle of
-    ``E_l`` appear in exactly one triple.
+
+def iter_colour_triples(
+    slices: dict[ColorPair, FileSlice],
+    num_colors: int,
+) -> "Iterator[tuple[ColorTriple, FileSlice, list[FileSlice], list[FileSlice]]]":
+    """Yield the independent subproblems of the colour-triple enumeration.
+
+    For every triple ``(tau1, tau2, tau3)`` with a non-empty pivot class
+    ``E_{tau2,tau3}`` yields ``(triple, pivot, adjacency, spectators)``:
+    the pivot slice, the adjacency classes whose cone colour is ``tau1``,
+    and the spectator classes (scanned and charged by Lemma 2, never
+    merged).  This is the shared iteration of the serial loop below and the
+    sharded executor in :mod:`repro.core.sharding`; the order is the
+    deterministic lexicographic triple order.
     """
-    emitted = 0
-    c = coloring.num_colors
-    for tau1 in range(c):
-        for tau2 in range(c):
-            for tau3 in range(c):
+    for tau1 in range(num_colors):
+        for tau2 in range(num_colors):
+            for tau3 in range(num_colors):
                 pivot = slices.get((tau2, tau3))
                 if pivot is None or len(pivot) == 0:
                     continue
@@ -254,25 +257,49 @@ def enumerate_colored_triples(
                         adjacency.append(source)
                     else:
                         spectators.append(source)
-                emitted += triangles_with_pivot_in(
-                    machine,
-                    pivot,
-                    adjacency,
-                    sink,
-                    spectator_sources=spectators,
-                )
+                yield (tau1, tau2, tau3), pivot, adjacency, spectators
+
+
+def enumerate_colored_triples(
+    machine: Machine,
+    slices: dict[ColorPair, FileSlice],
+    coloring: Coloring,
+    sink: TriangleSink,
+) -> int:
+    """Run Lemma 2 for every colour triple ``(tau1, tau2, tau3)``.
+
+    The pivot set is ``E_{tau2,tau3}``; the adjacency sources are the up-to
+    three distinct classes touching the triple; only triangles whose cone
+    vertex has colour ``tau1`` are emitted, which makes every triangle of
+    ``E_l`` appear in exactly one triple.
+    """
+    emitted = 0
+    for _triple, pivot, adjacency, spectators in iter_colour_triples(slices, coloring.num_colors):
+        emitted += triangles_with_pivot_in(
+            machine,
+            pivot,
+            adjacency,
+            sink,
+            spectator_sources=spectators,
+        )
     return emitted
 
 
 # ----------------------------------------------------------------------
 # the full algorithm
 # ----------------------------------------------------------------------
+#: Drop-in replacement for the serial colour-triple loop; same signature and
+#: return value as :func:`enumerate_colored_triples`.
+TriplesExecutor = Callable[[Machine, dict[ColorPair, FileSlice], Coloring, TriangleSink], int]
+
+
 def cache_aware_randomized(
     machine: Machine,
     edge_file: ExtFile,
     sink: TriangleSink,
     seed: int | None = 0,
     num_colors: int | None = None,
+    triples_executor: TriplesExecutor | None = None,
 ) -> CacheAwareReport:
     """Run the randomized cache-aware algorithm of Section 2.
 
@@ -287,6 +314,11 @@ def cache_aware_randomized(
     num_colors:
         Override for the number of colours ``c``; defaults to the paper's
         ``sqrt(E / M)``.
+    triples_executor:
+        Optional replacement for the serial triple loop (the sharded engine
+        distributes the independent colour-triple subproblems over worker
+        processes through this hook); it must deliver exactly the triangles
+        and charge exactly the I/Os :func:`enumerate_colored_triples` would.
 
     Returns a :class:`CacheAwareReport`; triangles are delivered to ``sink``.
     """
@@ -313,7 +345,8 @@ def cache_aware_randomized(
     report.partition_sizes = sizes
     low_edges.delete()
 
+    run_triples = triples_executor if triples_executor is not None else enumerate_colored_triples
     with machine.phase("triples"):
-        report.low_degree_triangles = enumerate_colored_triples(machine, slices, coloring, sink)
+        report.low_degree_triangles = run_triples(machine, slices, coloring, sink)
     partitioned.delete()
     return report

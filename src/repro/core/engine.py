@@ -117,6 +117,27 @@ class _StreamClosed(Exception):
     """Internal: the consumer abandoned a stream; unwind the worker."""
 
 
+def _put_or_closed(
+    out: "queue_module.Queue[tuple[str, Any]]",
+    stop: threading.Event,
+    message: tuple[str, Any],
+) -> bool:
+    """Enqueue ``message``, polling ``stop`` while the queue is full.
+
+    Returns ``False`` (without enqueueing) once ``stop`` is set.  Every
+    worker-side queue write goes through here, which is the teardown
+    invariant the consumer's drain loop relies on: after ``stop.set()`` no
+    worker can stay blocked on the queue for more than one poll interval.
+    """
+    while not stop.is_set():
+        try:
+            out.put(message, timeout=0.1)
+            return True
+        except queue_module.Full:
+            continue
+    return False
+
+
 class _StreamBatchSink:
     """Buffers label triangles and ships them across the stream queue."""
 
@@ -156,14 +177,8 @@ class _StreamBatchSink:
             self._put(buffered[start : start + self.batch_size])
 
     def _put(self, batch: list[tuple[Any, Any, Any]]) -> None:
-        while True:
-            if self.stop.is_set():
-                raise _StreamClosed()
-            try:
-                self.out.put(("batch", batch), timeout=0.1)
-                return
-            except queue_module.Full:
-                continue
+        if not _put_or_closed(self.out, self.stop, ("batch", batch)):
+            raise _StreamClosed()
 
 
 class TriangleEngine:
@@ -248,6 +263,8 @@ class TriangleEngine:
         seed: int = 0,
         sink: TriangleSink | None = None,
         collect: bool = False,
+        shards: int | None = None,
+        jobs: int = 1,
         options: AlgorithmOptions | Mapping[str, Any] | None = None,
         **option_kwargs: Any,
     ) -> RunResult:
@@ -261,9 +278,18 @@ class TriangleEngine:
         translation is skipped entirely (the fast path used by sweeps).
         ``options`` is the algorithm's typed options dataclass or a mapping
         validated against it; loose keyword arguments are accepted too.
+
+        ``shards=c`` switches to the colour-sharded execution path
+        (:mod:`repro.core.sharding`): the edge list decomposes by the
+        paper's ``c``-colour vertex colouring into independent colour-triple
+        subproblems, each executed on a fresh substrate -- across ``jobs``
+        worker processes when ``jobs > 1`` -- and merged deterministically.
+        Only ``machine``-kind algorithms accept it
+        (:class:`~repro.exceptions.OptionsError` otherwise).
         """
         spec = get_algorithm(algorithm)
         resolved = spec.resolve_options(options, option_kwargs)
+        sharding = spec.resolve_sharding(shards, jobs)
         run_params = params or self.default_params or MachineParams.default()
 
         collector = _LabelCollector() if collect else None
@@ -284,6 +310,11 @@ class TriangleEngine:
             ranked_sink = _TranslatingSink(inner, self._order)
         else:
             ranked_sink = _CountingForwarder(inner)
+
+        if sharding is not None:
+            return self._run_sharded(
+                spec, resolved, run_params, seed, sharding, ranked_sink, inner, collector
+            )
 
         stats = IOStats()
         started = time.perf_counter()
@@ -323,12 +354,64 @@ class TriangleEngine:
             order=self._order,
         )
 
+    def _run_sharded(
+        self,
+        spec: Any,
+        resolved: AlgorithmOptions,
+        run_params: MachineParams,
+        seed: int,
+        sharding: Any,
+        ranked_sink: Any,
+        inner: TriangleSink | None,
+        collector: "_LabelCollector | None",
+    ) -> RunResult:
+        """Execute one configuration through the colour-sharded path."""
+        from repro.core.sharding import run_sharded
+
+        started = time.perf_counter()
+        outcome = run_sharded(
+            self._edges,
+            spec,
+            resolved,
+            run_params,
+            seed,
+            sharding,
+            collect=inner is not None,
+        )
+        if inner is not None:
+            # Workers ship ranked triangles; replay them through the usual
+            # translating sink so user sinks observe the same label-space
+            # stream (in deterministic triple order) as a serial run.
+            ranked_sink.emit_many(outcome.triangles or [])
+            triangle_count = ranked_sink.count
+        else:
+            triangle_count = outcome.triangle_count
+        elapsed = time.perf_counter() - started
+
+        return RunResult(
+            algorithm=spec.name,
+            params=run_params,
+            num_edges=len(self._edges),
+            triangle_count=triangle_count,
+            io=outcome.stats.snapshot(),
+            disk_peak_words=outcome.disk_peak_words,
+            wall_time_seconds=elapsed,
+            num_vertices=self._num_vertices,
+            triangles=collector.triangles if collector is not None else None,
+            report=outcome.report,
+            phases=outcome.stats.phases,
+            order=self._order,
+            sharding=outcome.sharding,
+        )
+
     def count(
         self,
         algorithm: str = "cache_aware",
         *,
         params: MachineParams | None = None,
         seed: int = 0,
+        shards: int | None = None,
+        jobs: int = 1,
         options: AlgorithmOptions | Mapping[str, Any] | None = None,
         **option_kwargs: Any,
     ) -> int:
@@ -338,6 +421,8 @@ class TriangleEngine:
             params=params,
             seed=seed,
             collect=False,
+            shards=shards,
+            jobs=jobs,
             options=options,
             **option_kwargs,
         )
@@ -379,18 +464,16 @@ class TriangleEngine:
                     **option_kwargs,
                 )
                 batching.flush()
-                out.put(("done", None))
+                # Stop-aware like every other queue write: a consumer that
+                # abandoned the stream with the queue full must not leave
+                # the worker blocked on delivering "done".
+                _put_or_closed(out, stop, ("done", None))
             except _StreamClosed:
                 pass
             except BaseException as error:  # propagated to the consumer
                 # Retry past a momentarily-full queue (a slow consumer still
                 # draining batches); give up only once the consumer is gone.
-                while not stop.is_set():
-                    try:
-                        out.put(("error", error), timeout=0.1)
-                        break
-                    except queue_module.Full:
-                        continue
+                _put_or_closed(out, stop, ("error", error))
 
         worker = threading.Thread(target=work, name="triangle-stream", daemon=True)
         worker.start()
@@ -405,11 +488,22 @@ class TriangleEngine:
                     raise payload
         finally:
             stop.set()
+            # Termination proof for this drain loop: every worker-side queue
+            # write is a stop-aware `_put_or_closed`, so once `stop` is set
+            # the worker can block on the queue for at most one 0.1s poll
+            # before unwinding via _StreamClosed -- it cannot re-block after
+            # the drain below frees a slot.  Draining *and* joining on every
+            # iteration (rather than joining only when the queue happens to
+            # be empty) closes the old race where a worker stuck in `put`
+            # refilled the queue between `get_nowait` and the join, keeping
+            # the loop spinning without ever waiting on the thread.
             while worker.is_alive():
                 try:
-                    out.get_nowait()
+                    while True:
+                        out.get_nowait()
                 except queue_module.Empty:
-                    worker.join(timeout=0.05)
+                    pass
+                worker.join(timeout=0.05)
 
     # ------------------------------------------------------------------
     # conveniences

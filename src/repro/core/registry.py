@@ -49,6 +49,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: The substrate kinds an algorithm may declare.
 SUBSTRATES = ("machine", "oblivious-vm", "in-memory")
 
+#: How a machine-kind algorithm participates in sharded execution:
+#: ``subgraph`` (the generic colour-triple decomposition re-runs the whole
+#: algorithm per shard) or ``triples`` (the algorithm's own colour-triple
+#: phase is distributed via ``SubstrateContext.triples_executor``, keeping
+#: aggregated counters bit-identical to the serial run).
+SHARDING_MODES = ("subgraph", "triples")
+
 
 @dataclass(frozen=True)
 class AlgorithmOptions:
@@ -100,6 +107,41 @@ class NoOptions(AlgorithmOptions):
     """Options type of algorithms that take no knobs."""
 
 
+#: Hard cap on the colour count of a sharded run: ``shards`` colours expand
+#: into up to ``shards**3`` colour-triple subproblems, so the cap bounds the
+#: task-list size (16**3 = 4096) rather than any algorithmic quantity.
+MAX_SHARDS = 16
+
+
+@dataclass(frozen=True)
+class ShardingOptions:
+    """Typed knobs of the engine's sharded execution path.
+
+    ``shards`` is the number of colours ``c`` of the paper's vertex
+    colouring (Lemma 1/2): the canonical edge list decomposes into at most
+    ``c**3`` independent colour-triple subproblems.  ``jobs`` is the number
+    of worker processes the subproblems are distributed over (1 executes
+    them in-process, in triple order).
+    """
+
+    shards: int = 1
+    jobs: int = 1
+
+    def validate(self) -> None:
+        """Check both knobs are in-range integers."""
+        for name in ("shards", "jobs"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise OptionsError(f"{name} must be an int, got {value!r}")
+            if value < 1:
+                raise OptionsError(f"{name} must be >= 1, got {value}")
+        if self.shards > MAX_SHARDS:
+            raise OptionsError(
+                f"shards must be <= {MAX_SHARDS} "
+                f"(shards**3 colour triples are enumerated), got {self.shards}"
+            )
+
+
 @dataclass
 class SubstrateContext:
     """Everything an algorithm adapter needs to run one configuration.
@@ -118,6 +160,11 @@ class SubstrateContext:
     vm: "ObliviousVM | None" = None
     edge_vector: "ExtVector | None" = None
     edges: list[tuple[int, int]] | None = None
+    #: Sharded runs of ``sharding="triples"`` algorithms: a drop-in
+    #: replacement for the serial colour-triple loop with the signature of
+    #: :func:`repro.core.cache_aware.enumerate_colored_triples`.  ``None``
+    #: (the default) means run the triples phase in-process as usual.
+    triples_executor: Callable[..., int] | None = None
 
 
 #: Adapter signature: ``(context, sink, options) -> report``.
@@ -136,6 +183,9 @@ class AlgorithmSpec:
     accepts_seed: bool
     runner: AlgorithmRunner
     options_type: type[AlgorithmOptions] = NoOptions
+    #: Sharded-execution capability (meaningful for ``machine`` algorithms
+    #: only; see :data:`SHARDING_MODES`).
+    sharding: str = "subgraph"
 
     def resolve_options(
         self,
@@ -170,6 +220,32 @@ class AlgorithmSpec:
         merged.update(extra)
         return self.options_type.from_mapping(merged)
 
+    def resolve_sharding(self, shards: int | None, jobs: int = 1) -> "ShardingOptions | None":
+        """Normalise caller-supplied sharding knobs into validated options.
+
+        Returns ``None`` when no sharding was requested (``shards is None``,
+        ``jobs == 1``) -- the serial path.  Raises
+        :class:`repro.exceptions.OptionsError` when ``jobs`` is given without
+        ``shards``, when the algorithm does not run on the explicit machine
+        substrate (only ``machine``-kind algorithms decompose by the paper's
+        vertex colouring), or when either knob is out of range.
+        """
+        if shards is None:
+            if jobs != 1:
+                raise OptionsError(
+                    f"jobs={jobs!r} requires shards: pass shards=c to choose the "
+                    "colour count of the decomposition"
+                )
+            return None
+        if self.substrate != "machine":
+            raise OptionsError(
+                f"algorithm {self.name!r} runs on substrate {self.substrate!r}; "
+                "sharded execution is only defined for 'machine' algorithms"
+            )
+        resolved = ShardingOptions(shards=shards, jobs=jobs)
+        resolved.validate()
+        return resolved
+
     def options_schema(self) -> list[dict[str, Any]]:
         """The options fields as ``{name, type, default}`` rows (for the CLI)."""
         rows: list[dict[str, Any]] = []
@@ -198,17 +274,23 @@ def register_algorithm(
     substrate: str,
     accepts_seed: bool,
     options: type[AlgorithmOptions] = NoOptions,
+    sharding: str = "subgraph",
 ) -> Callable[[AlgorithmRunner], AlgorithmRunner]:
     """Register an algorithm adapter under ``name`` and return it unchanged.
 
     Raises :class:`repro.exceptions.RegistrationError` for duplicate names,
-    unknown substrate kinds or options types that are not
-    :class:`AlgorithmOptions` dataclasses.
+    unknown substrate kinds, unknown sharding modes or options types that
+    are not :class:`AlgorithmOptions` dataclasses.
     """
     if substrate not in SUBSTRATES:
         raise RegistrationError(
             f"algorithm {name!r} declares unknown substrate {substrate!r}; "
             f"expected one of {', '.join(SUBSTRATES)}"
+        )
+    if sharding not in SHARDING_MODES:
+        raise RegistrationError(
+            f"algorithm {name!r} declares unknown sharding mode {sharding!r}; "
+            f"expected one of {', '.join(SHARDING_MODES)}"
         )
     if not (isinstance(options, type) and issubclass(options, AlgorithmOptions)):
         raise RegistrationError(
@@ -234,6 +316,7 @@ def register_algorithm(
             accepts_seed=accepts_seed,
             runner=runner,
             options_type=options,
+            sharding=sharding,
         )
         return runner
 

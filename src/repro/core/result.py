@@ -50,6 +50,9 @@ class RunResult:
     report: Any = None
     phases: dict[str, int] | None = None
     order: DegreeOrder | None = None
+    #: Sharded-execution metadata (``repro.core.sharding.ShardingStats``) for
+    #: runs with ``shards=c``; ``None`` for serial runs.
+    sharding: Any = None
 
     @property
     def reads(self) -> int:

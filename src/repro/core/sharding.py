@@ -1,0 +1,532 @@
+"""Colour-sharded execution of machine-kind algorithms.
+
+Pagh-Silvestri's randomized vertex colouring (Lemma 1/2) decomposes the
+canonical edge list into independent colour-triple subproblems: a triangle
+with ranked vertices ``v1 < v2 < v3`` and colours ``(xi(v1), xi(v2),
+xi(v3)) = (tau1, tau2, tau3)`` has all three edges inside the union of the
+classes ``E_{tau1,tau2} ∪ E_{tau1,tau3} ∪ E_{tau2,tau3}`` and is found in
+exactly that triple.  This module exploits the shared-nothing structure to
+run one *large* enumeration across a ``multiprocessing`` spawn pool (the
+experiment orchestrator of PR 2 only parallelised across independent
+experiment cells).
+
+Two execution modes, chosen by the registry spec's ``sharding`` field:
+
+``triples`` (``cache_aware``)
+    The algorithm itself runs on the coordinator substrate with its serial
+    colour-triple loop replaced by a distributing executor
+    (:data:`~repro.core.registry.SubstrateContext.triples_executor`): the
+    high-degree phase and the colour partition execute exactly as in the
+    serial run, then each Lemma 2 subproblem -- pivot class, adjacency
+    classes, spectator classes (the PR 1 spectator-source skip) -- is
+    shipped to a worker with a fresh machine and fresh counters.  Because
+    each subproblem's charges depend only on the class contents and the
+    machine parameters, folding the worker counters back into the
+    coordinator's ``triples`` phase reproduces the serial totals **bit for
+    bit**, for any job count and any completion order.
+
+``subgraph`` (every other machine algorithm)
+    The coordinator partitions the canonical edge list by endpoint-colour
+    pair in plain Python (decomposition is orchestration, like
+    canonicalisation: it charges no simulated I/O), and every colour triple
+    whose three classes are non-empty becomes a shard: a worker runs the
+    *whole* algorithm on the union of the classes and keeps only triangles
+    whose colour signature matches the triple, so every triangle is emitted
+    by exactly one shard.  Aggregated counters are deterministic (summed in
+    triple order) but -- unlike ``triples`` mode -- measure the decomposed
+    instances, not the serial run; with ``shards=1`` the single shard *is*
+    the serial run and the counters coincide.
+
+Merging is deterministic regardless of completion order: worker outcomes
+are reassembled in triple order, counters are folded in that order, and
+triangles are concatenated in that order (deduplicated by their ranked
+triple as a safety net -- the signature filter already guarantees
+exactly-once emission).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator, Sequence
+
+from repro.analysis.model import MachineParams
+from repro.core.cache_aware import iter_colour_triples
+from repro.core.emit import CollectingSink, CountingSink, Triangle, TriangleSink, emit_all
+from repro.core.lemma2 import triangles_with_pivot_in
+from repro.core.registry import (
+    AlgorithmOptions,
+    AlgorithmSpec,
+    ShardingOptions,
+    SubstrateContext,
+)
+from repro.exceptions import OptionsError, ReproError
+from repro.extmem.machine import Machine
+from repro.extmem.stats import IOStats
+from repro.graph.io import edges_to_file
+from repro.hashing.coloring import Coloring, ConstantColoring, RandomColoring
+from repro.hashing.coloring import colors_of as bulk_colors
+from repro.parallel import spawn_map_unordered
+
+RankedEdge = tuple[int, int]
+ColorTriple = tuple[int, int, int]
+
+
+class ShardExecutionError(ReproError):
+    """A shard worker raised; carries the worker traceback."""
+
+
+# ----------------------------------------------------------------------
+# work units and their outcomes (must pickle across the spawn boundary)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TripleShardTask:
+    """One Lemma 2 subproblem of a ``triples``-mode run."""
+
+    index: int
+    triple: ColorTriple
+    pivot: list[RankedEdge]
+    adjacency: list[list[RankedEdge]]
+    spectators: list[list[RankedEdge]]
+    memory: int
+    block: int
+    collect: bool
+
+
+@dataclass(frozen=True)
+class SubgraphShardTask:
+    """One full-algorithm run on a colour-triple subgraph."""
+
+    index: int
+    triple: ColorTriple
+    edges: list[RankedEdge]
+    algorithm: str
+    options: dict[str, Any]
+    seed: int
+    num_colors: int
+    memory: int
+    block: int
+    collect: bool
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard worker sends back to the coordinator."""
+
+    index: int
+    triple: ColorTriple
+    count: int = 0
+    triangles: list[Triangle] | None = None
+    reads: int = 0
+    writes: int = 0
+    operations: int = 0
+    phases: dict[str, int] = field(default_factory=dict)
+    disk_peak_words: int = 0
+    wall_seconds: float = 0.0
+    error: str | None = None
+
+
+@dataclass
+class ShardingStats:
+    """Per-run sharding metadata surfaced on :class:`~repro.core.result.RunResult`.
+
+    ``shard_seconds`` is each shard's worker-side wall time in triple order;
+    single-core hosts use it to project multi-core makespans (see
+    ``benchmarks/run_benchmarks.py``).
+    """
+
+    mode: str
+    num_colors: int
+    jobs: int
+    num_shards: int
+    shard_edges: int
+    shard_seconds: list[float] = field(default_factory=list)
+    shard_triples: list[ColorTriple] = field(default_factory=list)
+
+
+@dataclass
+class ShardedRun:
+    """The merged, deterministic result of a sharded execution."""
+
+    stats: IOStats
+    triangle_count: int
+    triangles: list[Triangle] | None
+    disk_peak_words: int
+    report: Any
+    sharding: ShardingStats
+
+
+# ----------------------------------------------------------------------
+# worker entry points (importable by name for the spawn pool)
+# ----------------------------------------------------------------------
+def _execute_triple_shard(task: TripleShardTask) -> ShardOutcome:
+    """Run one Lemma 2 subproblem on a fresh machine; never raises."""
+    outcome = ShardOutcome(index=task.index, triple=task.triple)
+    try:
+        machine = Machine(MachineParams(task.memory, task.block), IOStats())
+        pivot = machine.file_from_records(task.pivot, name="shard-pivot")
+        adjacency = [machine.file_from_records(records) for records in task.adjacency]
+        spectators = [machine.file_from_records(records) for records in task.spectators]
+        sink: CollectingSink | CountingSink = CollectingSink() if task.collect else CountingSink()
+        started = time.perf_counter()
+        triangles_with_pivot_in(machine, pivot, adjacency, sink, spectator_sources=spectators)
+        outcome.wall_seconds = time.perf_counter() - started
+        outcome.count = sink.count
+        outcome.triangles = sink.triangles if task.collect else None
+        outcome.reads = machine.stats.reads
+        outcome.writes = machine.stats.writes
+        outcome.operations = machine.stats.operations
+        outcome.phases = machine.stats.phases
+        outcome.disk_peak_words = machine.disk.peak_words
+    except Exception:  # noqa: BLE001 - the traceback is the payload
+        outcome.error = traceback.format_exc()
+    return outcome
+
+
+class _SignatureFilterSink:
+    """Keeps only triangles whose colour signature matches one triple.
+
+    Triangles arrive with vertices in ascending rank order, so the
+    signature is simply the componentwise colouring of the triple.
+    """
+
+    def __init__(self, inner: TriangleSink, coloring: Coloring, triple: ColorTriple) -> None:
+        self.inner = inner
+        self.coloring = coloring
+        self.triple = triple
+
+    def emit(self, a: int, b: int, c: int) -> None:
+        color_of = self.coloring.color_of
+        if (color_of(a), color_of(b), color_of(c)) == self.triple:
+            self.inner.emit(a, b, c)
+
+    def emit_many(self, triangles: Sequence[Triangle]) -> None:
+        color_of = self.coloring.color_of
+        triple = self.triple
+        kept = [t for t in triangles if (color_of(t[0]), color_of(t[1]), color_of(t[2])) == triple]
+        if kept:
+            emit_all(self.inner, kept)
+
+
+def _execute_subgraph_shard(task: SubgraphShardTask) -> ShardOutcome:
+    """Run the whole algorithm on one colour-triple subgraph; never raises."""
+    from repro.core.registry import get_algorithm
+
+    outcome = ShardOutcome(index=task.index, triple=task.triple)
+    try:
+        spec = get_algorithm(task.algorithm)
+        options = spec.options_type.from_mapping(task.options)
+        params = MachineParams(task.memory, task.block)
+        stats = IOStats()
+        machine = Machine(params, stats)
+        edge_file = edges_to_file(machine, [tuple(edge) for edge in task.edges])
+        coloring = _decomposition_coloring(task.num_colors, task.seed)
+        inner: CollectingSink | CountingSink = CollectingSink() if task.collect else CountingSink()
+        sink = _SignatureFilterSink(inner, coloring, tuple(task.triple))
+        context = SubstrateContext(
+            params=params, stats=stats, seed=task.seed, machine=machine, edge_file=edge_file
+        )
+        started = time.perf_counter()
+        spec.runner(context, sink, options)
+        outcome.wall_seconds = time.perf_counter() - started
+        outcome.count = inner.count
+        outcome.triangles = inner.triangles if task.collect else None
+        outcome.reads = stats.reads
+        outcome.writes = stats.writes
+        outcome.operations = stats.operations
+        outcome.phases = stats.phases
+        outcome.disk_peak_words = machine.disk.peak_words
+    except Exception:  # noqa: BLE001 - the traceback is the payload
+        outcome.error = traceback.format_exc()
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# coordinator
+# ----------------------------------------------------------------------
+def _decomposition_coloring(num_colors: int, seed: int) -> Coloring:
+    """The decomposition colouring: constant for one colour, 4-wise otherwise.
+
+    Deterministic in ``(num_colors, seed)`` so coordinator and workers
+    rebuild the identical colouring independently.
+    """
+    if num_colors == 1:
+        return ConstantColoring()
+    return RandomColoring(num_colors, seed=seed)
+
+
+def _collect_outcomes(worker, tasks: Sequence[Any], jobs: int) -> list[ShardOutcome]:
+    """Execute shard tasks and reassemble the outcomes in triple order.
+
+    Completion order is irrelevant: outcomes are keyed by shard index and
+    returned sorted, which is what makes every merge downstream
+    deterministic.  Tasks are shipped in chunks to amortise pool IPC over
+    the many small colour triples.
+    """
+    tasks = list(tasks)
+    chunksize = max(1, len(tasks) // (max(1, jobs) * 4))
+    by_index: dict[int, ShardOutcome] = {}
+    for outcome in spawn_map_unordered(worker, tasks, jobs, chunksize=chunksize):
+        if outcome.error is not None:
+            raise ShardExecutionError(
+                f"shard {outcome.triple} failed in a worker:\n{outcome.error}"
+            )
+        by_index[outcome.index] = outcome
+    return [by_index[index] for index in sorted(by_index)]
+
+
+def _merge_triangles(
+    outcomes: Sequence[ShardOutcome],
+) -> tuple[list[Triangle], int]:
+    """Concatenate shard triangles in triple order, deduplicating by rank.
+
+    The signature filter guarantees exactly-once emission across shards;
+    the seen-set is a cheap safety net that makes the merge idempotent
+    under any upstream mistake rather than silently double-counting.
+    """
+    merged: list[Triangle] = []
+    seen: set[Triangle] = set()
+    for outcome in outcomes:
+        for triangle in outcome.triangles or ():
+            key = tuple(triangle)
+            if key in seen:
+                continue
+            seen.add(key)
+            merged.append(triangle)
+    return merged, len(merged)
+
+
+def run_sharded(
+    edges: Sequence[RankedEdge],
+    spec: AlgorithmSpec,
+    options: AlgorithmOptions,
+    params: MachineParams,
+    seed: int,
+    sharding: ShardingOptions,
+    collect: bool,
+) -> ShardedRun:
+    """Execute ``spec`` on ``edges`` sharded by the paper's vertex colouring.
+
+    ``collect=True`` ships ranked triangles back from the workers (the
+    engine translates and re-emits them in triple order); otherwise the
+    workers only count.  The caller guarantees ``spec.substrate ==
+    "machine"`` (enforced by :meth:`AlgorithmSpec.resolve_sharding`).
+    """
+    if spec.sharding == "triples":
+        return _run_triples_sharded(edges, spec, options, params, seed, sharding, collect)
+    return _run_subgraph_sharded(edges, spec, options, params, seed, sharding, collect)
+
+
+def _run_triples_sharded(
+    edges: Sequence[RankedEdge],
+    spec: AlgorithmSpec,
+    options: AlgorithmOptions,
+    params: MachineParams,
+    seed: int,
+    sharding: ShardingOptions,
+    collect: bool,
+) -> ShardedRun:
+    """Distribute the algorithm's own colour-triple phase over workers."""
+    options = _apply_shard_colors(spec, options, sharding.shards)
+    stats = IOStats()
+    machine = Machine(params, stats)
+    edge_file = edges_to_file(machine, list(edges))
+    local_sink: CollectingSink | CountingSink = CollectingSink() if collect else CountingSink()
+    sharding_stats = ShardingStats(
+        mode="triples",
+        num_colors=sharding.shards,
+        jobs=sharding.jobs,
+        num_shards=0,
+        shard_edges=0,
+    )
+    counted_only = 0
+    worker_peaks = [0]
+
+    def executor(coord_machine: Machine, slices, coloring, sink) -> int:
+        nonlocal counted_only
+        tasks: list[TripleShardTask] = []
+        for index, (triple, pivot, adjacency, spectators) in enumerate(
+            iter_colour_triples(slices, coloring.num_colors)
+        ):
+            # Extracting slice contents is coordinator orchestration, not
+            # simulated I/O -- the workers re-charge every scan and load of
+            # these records exactly as the serial loop would have.
+            tasks.append(
+                TripleShardTask(
+                    index=index,
+                    triple=triple,
+                    pivot=pivot._read_range(0, len(pivot)),
+                    adjacency=[s._read_range(0, len(s)) for s in adjacency],
+                    spectators=[s._read_range(0, len(s)) for s in spectators],
+                    memory=params.memory_words,
+                    block=params.block_words,
+                    collect=collect,
+                )
+            )
+        outcomes = _collect_outcomes(_execute_triple_shard, tasks, sharding.jobs)
+        sharding_stats.num_shards = len(tasks)
+        sharding_stats.shard_edges = sum(
+            len(t.pivot) + sum(map(len, t.adjacency)) + sum(map(len, t.spectators))
+            for t in tasks
+        )
+        emitted = 0
+        for outcome in outcomes:
+            # Folded inside the coordinator's "triples" phase, so the phase
+            # attribution -- and therefore the aggregate counters -- matches
+            # the serial run bit for bit.
+            coord_machine.stats.charge_read(outcome.reads)
+            coord_machine.stats.charge_write(outcome.writes)
+            coord_machine.stats.charge_operations(outcome.operations)
+            worker_peaks.append(outcome.disk_peak_words)
+            sharding_stats.shard_seconds.append(outcome.wall_seconds)
+            sharding_stats.shard_triples.append(tuple(outcome.triple))
+            emitted += outcome.count
+            if collect and outcome.triangles:
+                emit_all(sink, outcome.triangles)
+        if not collect:
+            counted_only = emitted
+        return emitted
+
+    context = SubstrateContext(
+        params=params,
+        stats=stats,
+        seed=seed,
+        machine=machine,
+        edge_file=edge_file,
+        triples_executor=executor,
+    )
+    report = spec.runner(context, local_sink, options)
+    triangle_count = local_sink.count + counted_only
+    return ShardedRun(
+        stats=stats,
+        triangle_count=triangle_count,
+        triangles=list(local_sink.triangles) if collect else None,
+        disk_peak_words=max(machine.disk.peak_words, max(worker_peaks)),
+        report=report,
+        sharding=sharding_stats,
+    )
+
+
+def _apply_shard_colors(
+    spec: AlgorithmSpec, options: AlgorithmOptions, shards: int
+) -> AlgorithmOptions:
+    """Force ``num_colors = shards`` on a triples-mode algorithm's options.
+
+    In triples mode the decomposition colouring *is* the algorithm's own
+    colouring, so the two knobs must agree; an explicit conflicting
+    ``num_colors`` is rejected rather than silently overridden.
+    """
+    if not any(f.name == "num_colors" for f in dataclasses.fields(options)):
+        raise OptionsError(
+            f"algorithm {spec.name!r} declares sharding='triples' but its options "
+            "type has no num_colors field to carry the shard colour count"
+        )
+    current = getattr(options, "num_colors", None)
+    if current is not None and current != shards:
+        raise OptionsError(
+            f"algorithm {spec.name!r}: num_colors={current} conflicts with shards={shards}; "
+            "in sharded runs the colour count is the shard count"
+        )
+    return replace(options, num_colors=shards)
+
+
+def _partition_by_color_pairs(
+    edges: Sequence[RankedEdge], coloring: Coloring
+) -> dict[tuple[int, int], list[RankedEdge]]:
+    """Split the canonical edge list into endpoint-colour-pair classes.
+
+    Pure-Python orchestration (no simulated I/O).  Each class preserves the
+    canonical lexicographic order, so any union of classes merges back into
+    a canonical edge list.
+    """
+    classes: dict[tuple[int, int], list[RankedEdge]] = {}
+    colors_u = bulk_colors(coloring, [edge[0] for edge in edges])
+    colors_v = bulk_colors(coloring, [edge[1] for edge in edges])
+    for edge, cu, cv in zip(edges, colors_u, colors_v):
+        classes.setdefault((cu, cv), []).append(edge)
+    return classes
+
+
+def _iter_subgraph_shards(
+    classes: dict[tuple[int, int], list[RankedEdge]], num_colors: int
+) -> Iterator[tuple[ColorTriple, list[RankedEdge]]]:
+    """Yield ``(triple, union edge list)`` for every feasible colour triple.
+
+    A triangle with signature ``(tau1, tau2, tau3)`` needs one edge in each
+    of the three classes, so triples with an empty class are skipped -- the
+    pruning mirrors the pivot-empty skip of the serial triple loop.
+    """
+    for tau1 in range(num_colors):
+        for tau2 in range(num_colors):
+            for tau3 in range(num_colors):
+                keys = {(tau1, tau2), (tau1, tau3), (tau2, tau3)}
+                if any(not classes.get(key) for key in keys):
+                    continue
+                parts = [classes[key] for key in sorted(keys)]
+                union = parts[0] if len(parts) == 1 else list(heapq.merge(*parts))
+                yield (tau1, tau2, tau3), union
+
+
+def _run_subgraph_sharded(
+    edges: Sequence[RankedEdge],
+    spec: AlgorithmSpec,
+    options: AlgorithmOptions,
+    params: MachineParams,
+    seed: int,
+    sharding: ShardingOptions,
+    collect: bool,
+) -> ShardedRun:
+    """Re-run the whole algorithm per colour-triple subgraph and merge."""
+    coloring = _decomposition_coloring(sharding.shards, seed)
+    classes = _partition_by_color_pairs(edges, coloring)
+    tasks = [
+        SubgraphShardTask(
+            index=index,
+            triple=triple,
+            edges=union,
+            algorithm=spec.name,
+            options=options.to_mapping(),
+            seed=seed,
+            num_colors=sharding.shards,
+            memory=params.memory_words,
+            block=params.block_words,
+            collect=collect,
+        )
+        for index, (triple, union) in enumerate(_iter_subgraph_shards(classes, sharding.shards))
+    ]
+    outcomes = _collect_outcomes(_execute_subgraph_shard, tasks, sharding.jobs)
+
+    stats = IOStats()
+    sharding_stats = ShardingStats(
+        mode="subgraph",
+        num_colors=sharding.shards,
+        jobs=sharding.jobs,
+        num_shards=len(tasks),
+        shard_edges=sum(len(task.edges) for task in tasks),
+    )
+    disk_peak = 0
+    for outcome in outcomes:
+        stats.charge_read(outcome.reads)
+        stats.charge_write(outcome.writes)
+        stats.charge_operations(outcome.operations)
+        for phase_name, total in outcome.phases.items():
+            stats.charge_phase(phase_name, total)
+        disk_peak = max(disk_peak, outcome.disk_peak_words)
+        sharding_stats.shard_seconds.append(outcome.wall_seconds)
+        sharding_stats.shard_triples.append(tuple(outcome.triple))
+    if collect:
+        triangles, triangle_count = _merge_triangles(outcomes)
+    else:
+        triangles = None
+        triangle_count = sum(outcome.count for outcome in outcomes)
+    return ShardedRun(
+        stats=stats,
+        triangle_count=triangle_count,
+        triangles=triangles,
+        disk_peak_words=disk_peak,
+        report=sharding_stats,
+        sharding=sharding_stats,
+    )

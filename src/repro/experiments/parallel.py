@@ -17,11 +17,11 @@ behaviour across platforms.
 
 from __future__ import annotations
 
-import multiprocessing
 import traceback
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.exceptions import ReproError
+from repro.parallel import spawn_map_unordered
 from repro.experiments.specs import RunSpec
 from repro.experiments.store import ResultStore
 from repro.experiments.tasks import execute_spec
@@ -128,10 +128,10 @@ class ParallelRunner:
         if cached:
             self._report(f"{cached}/{len(unique)} cells already in the store")
 
-        if self.jobs > 1 and len(pending) > 1:
-            outcomes = self._run_pool(pending)
-        else:
-            outcomes = map(_execute_for_pool, pending)
+        # spawn_map_unordered falls back to an in-process map when a pool
+        # would be pointless (jobs=1, a single cell) or forbidden (we are
+        # already inside a daemonic pool worker).
+        outcomes = spawn_map_unordered(_execute_for_pool, pending, self.jobs)
 
         done = 0
         for spec_hash, result, error in outcomes:
@@ -148,15 +148,6 @@ class ParallelRunner:
             self._report(f"[{done}/{len(pending)}] {by_hash[spec_hash].describe()}")
 
         return ResultSet(results, errors, executed=len(pending) - len(errors), cached=cached)
-
-    def _run_pool(
-        self, pending: Sequence[RunSpec]
-    ) -> Iterable[tuple[str, dict[str, Any] | None, str | None]]:
-        """Execute ``pending`` on a spawn-based pool, yielding as cells finish."""
-        context = multiprocessing.get_context("spawn")
-        processes = min(self.jobs, len(pending))
-        with context.Pool(processes=processes) as pool:
-            yield from pool.imap_unordered(_execute_for_pool, pending)
 
 
 def execute_specs(specs: Sequence[RunSpec]) -> ResultSet:

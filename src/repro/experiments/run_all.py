@@ -24,7 +24,6 @@ Besides the rendered tables, a machine-readable summary is written to
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 import traceback
@@ -35,7 +34,12 @@ from typing import Iterable, Sequence
 from repro.experiments.parallel import ParallelRunner, dedupe_specs
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.specs import RunSpec
-from repro.experiments.store import DEFAULT_RESULTS_DIR, ResultStore
+from repro.experiments.store import (
+    DEFAULT_RESULTS_DIR,
+    ResultStore,
+    atomic_write_json,
+    atomic_write_text,
+)
 from repro.experiments.tables import Table
 
 SUMMARY_SCHEMA = "repro-results/v1"
@@ -155,15 +159,18 @@ def run_experiments(
 
 
 def write_summary(report: RunReport, path: str | Path) -> None:
-    """Write the machine-readable ``results.json`` summary."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    """Write the machine-readable ``results.json`` summary (atomically).
+
+    Downstream tabulation and CI trust this file, so it is written with the
+    same temp-file + ``os.replace`` discipline as the artifact store: a
+    crash mid-write leaves the previous summary intact, never a torn one.
+    """
     summary = report.summary_dict()
     by_experiment: dict[str, list[dict]] = {}
     for table in summary.pop("tables"):
         by_experiment.setdefault(table["experiment_id"], []).append(table)
     summary["experiments"] = by_experiment
-    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    atomic_write_json(path, summary)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -237,8 +244,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     rendered = report.render_tables()
     print(rendered + "\n\n" + report.footer())
     if arguments.output:
-        with open(arguments.output, "w", encoding="utf-8") as handle:
-            handle.write(rendered + "\n\n" + report.footer() + "\n")
+        atomic_write_text(arguments.output, rendered + "\n\n" + report.footer() + "\n")
 
     summary_path = arguments.json
     if summary_path is None and store is not None:

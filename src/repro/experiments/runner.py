@@ -24,6 +24,8 @@ def run_on_edges(
     algorithm: str,
     params: MachineParams,
     seed: int = 0,
+    shards: int | None = None,
+    jobs: int = 1,
     **options: Any,
 ) -> RunResult:
     """Run ``algorithm`` on an already-canonical edge list and measure it.
@@ -34,6 +36,11 @@ def run_on_edges(
     several runs over the *same* edge list, build one
     :meth:`TriangleEngine.from_canonical_edges` and call
     :meth:`~repro.core.engine.TriangleEngine.run` repeatedly instead.
+
+    ``shards``/``jobs`` select the engine's colour-sharded execution path
+    (machine-kind algorithms only; see :mod:`repro.core.sharding`).
     """
     engine = TriangleEngine.from_canonical_edges(edges, params=params, validate=False)
-    return engine.run(algorithm, seed=seed, collect=False, options=options)
+    return engine.run(
+        algorithm, seed=seed, collect=False, shards=shards, jobs=jobs, options=options
+    )

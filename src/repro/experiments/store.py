@@ -39,6 +39,37 @@ ARTIFACT_SCHEMA = "repro-run/v1"
 DEFAULT_RESULTS_DIR = "results"
 
 
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A crash mid-write can never leave a torn file at ``path``: readers see
+    either the previous complete content or the new complete content.  The
+    temporary lives next to the target (same filesystem, so the replace is
+    atomic) under a name no ``*.json`` glob matches.  Parent directories
+    are created as needed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        temporary.write_text(text, encoding="utf-8")
+        os.replace(temporary, path)
+    except BaseException:
+        temporary.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def atomic_write_json(path: str | Path, payload: Any) -> Path:
+    """Serialise ``payload`` as stable JSON and write it atomically.
+
+    The artifact store, the ``results.json`` suite summary and the rendered
+    table output all write through here, so a crashed or interrupted run
+    can never corrupt a summary that downstream tabulation or CI trusts.
+    """
+    return atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 class ResultStore:
     """A directory of ``<spec_hash>.json`` artifacts."""
 
@@ -70,8 +101,6 @@ class ResultStore:
 
     def put(self, spec: RunSpec, result: dict[str, Any]) -> Path:
         """Persist ``result`` for ``spec`` atomically; returns the path."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(spec)
         artifact = {
             "schema": ARTIFACT_SCHEMA,
             "spec_hash": spec.spec_hash,
@@ -79,10 +108,7 @@ class ResultStore:
             "payload": spec.payload,
             "result": result,
         }
-        temporary = path.with_suffix(f".tmp{os.getpid()}")
-        temporary.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n", encoding="utf-8")
-        os.replace(temporary, path)
-        return path
+        return atomic_write_json(self.path_for(spec), artifact)
 
     def artifact_paths(self) -> list[Path]:
         """All artifact files currently in the store (sorted for stability)."""

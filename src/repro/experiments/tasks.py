@@ -131,14 +131,27 @@ def run_edges(
     memory: int,
     block: int,
     seed: int = 0,
+    shards: int | None = None,
+    jobs: int = 1,
     options: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Run one algorithm on one workload on one machine configuration."""
+    """Run one algorithm on one workload on one machine configuration.
+
+    ``shards``/``jobs`` route the cell through the engine's colour-sharded
+    execution path.  Note that a cell executed inside a ``run_all --jobs N``
+    pool worker cannot spawn its own children (daemonic workers), so
+    ``jobs > 1`` silently degrades to in-process shard execution there; the
+    result is bit-identical either way.
+    """
     built = build_workload(workload)
     params = MachineParams(memory_words=memory, block_words=block)
-    result = run_on_edges(built.edges, algorithm, params, seed=seed, **(options or {}))
+    result = run_on_edges(
+        built.edges, algorithm, params, seed=seed, shards=shards, jobs=jobs, **(options or {})
+    )
     payload = result_to_dict(result, built.name)
     payload["algorithm"] = algorithm
+    if shards is not None:
+        payload["shards"] = shards
     return payload
 
 

@@ -96,6 +96,18 @@ class IOStats:
         self._phase_totals[name] = self._phase_totals.get(name, 0) + delta.total
         return delta
 
+    def charge_phase(self, name: str, blocks: int) -> None:
+        """Add ``blocks`` transfers directly to a phase's total.
+
+        Counterpart of :meth:`record_phase` for aggregation paths that fold
+        *already-measured* phase totals from another machine's counters
+        (the sharded engine merging worker stats) rather than bracketing a
+        local code region with snapshots.
+        """
+        if blocks < 0:
+            raise ValueError(f"cannot charge a negative phase total: {blocks}")
+        self._phase_totals[name] = self._phase_totals.get(name, 0) + blocks
+
     @property
     def phases(self) -> dict[str, int]:
         """Mapping of phase name to total block transfers charged to it."""

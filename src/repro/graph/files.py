@@ -26,13 +26,33 @@ def _parse_label(token: str):
         return token
 
 
-def read_edge_list(path: str | Path, comment_prefix: str = "#") -> Graph:
+def read_edge_list(
+    path: str | Path,
+    comment_prefix: str = "#",
+    extra_columns: str = "ignore",
+) -> Graph:
     """Read a whitespace-separated edge-list file into a :class:`Graph`.
 
     Lines starting with ``comment_prefix`` (after stripping) and blank lines
     are ignored.  Duplicate edges are merged; self-loops raise
     :class:`repro.exceptions.GraphFormatError` with the offending line number.
+
+    ``extra_columns`` says what to do with lines carrying more than two
+    tokens (SNAP exports often append weights or timestamps): ``"ignore"``
+    (the default) keeps only the two endpoint labels, ``"error"`` raises
+    :class:`~repro.exceptions.GraphFormatError` with the line number.
+
+    An empty ``comment_prefix`` is rejected: ``line.startswith("")`` is true
+    for *every* line, so it would silently skip the whole file and return an
+    empty graph.
     """
+    if not comment_prefix:
+        raise GraphFormatError(
+            "comment_prefix must be a non-empty string (an empty prefix matches "
+            "every line and would silently produce an empty graph)"
+        )
+    if extra_columns not in ("ignore", "error"):
+        raise ValueError(f"extra_columns must be 'ignore' or 'error', got {extra_columns!r}")
     graph = Graph()
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
@@ -44,6 +64,11 @@ def read_edge_list(path: str | Path, comment_prefix: str = "#") -> Graph:
             if len(tokens) < 2:
                 raise GraphFormatError(
                     f"{path}:{line_number}: expected two vertex labels, got {line!r}"
+                )
+            if len(tokens) > 2 and extra_columns == "error":
+                raise GraphFormatError(
+                    f"{path}:{line_number}: expected exactly two vertex labels, got "
+                    f"{line!r} (pass extra_columns='ignore' to drop trailing columns)"
                 )
             u, v = _parse_label(tokens[0]), _parse_label(tokens[1])
             if u == v:

@@ -1,0 +1,57 @@
+"""Process-pool plumbing shared by the orchestrator and the sharded engine.
+
+One helper: :func:`spawn_map_unordered`, a thin wrapper over a
+``multiprocessing`` *spawn* pool that degrades gracefully to in-process
+``map`` whenever a pool would be useless (one job, one item) or illegal
+(the caller is itself a daemonic pool worker, which may not spawn
+children).  Both :class:`repro.experiments.parallel.ParallelRunner` and
+:mod:`repro.core.sharding` fan their independent work units through it,
+so the start-method choice (``spawn``, for identical behaviour across
+platforms) lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterator, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+
+def effective_jobs(jobs: int, num_items: int) -> int:
+    """The worker-process count a pool would actually use.
+
+    Returns 1 (serial execution, no pool) when a pool is pointless --
+    fewer than two jobs or fewer than two items -- or when the calling
+    process is itself a daemonic pool worker, which ``multiprocessing``
+    forbids from having children.
+    """
+    if jobs <= 1 or num_items <= 1:
+        return 1
+    if multiprocessing.current_process().daemon:
+        return 1
+    return min(jobs, num_items)
+
+
+def spawn_map_unordered(
+    function: Callable[[Item], Result],
+    items: Sequence[Item],
+    jobs: int,
+    chunksize: int = 1,
+) -> Iterator[Result]:
+    """Apply ``function`` to every item, yielding results as they finish.
+
+    With more than one effective job the items are distributed over a
+    ``spawn``-based worker pool (``imap_unordered``, so results arrive in
+    completion order); otherwise they are mapped in the calling process in
+    input order.  ``function`` must be importable by name and both items
+    and results must be picklable -- the same contract the experiment
+    orchestrator's run specs already satisfy.
+    """
+    if effective_jobs(jobs, len(items)) == 1:
+        yield from map(function, items)
+        return
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=effective_jobs(jobs, len(items))) as pool:
+        yield from pool.imap_unordered(function, items, chunksize)

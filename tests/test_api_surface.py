@@ -39,6 +39,7 @@ REPRO_CORE_SURFACE = [
     "DedupCheckingSink",
     "EnumerationResult",
     "RunResult",
+    "ShardingOptions",  # engine sharding knobs (PR 4)
     "Triangle",
     "TriangleEngine",
     "TriangleSink",

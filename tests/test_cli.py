@@ -74,6 +74,40 @@ class TestCompare:
         }
         assert len(counts) == 1
 
+    def _compare_table(self, graph_file, capsys, *extra):
+        arguments = [
+            "compare",
+            str(graph_file),
+            "--algorithms",
+            "cache_aware",
+            "hu_tao_chung",
+            "--memory",
+            "64",
+            "--block",
+            "8",
+            *extra,
+        ]
+        assert main(arguments) == 0
+        return capsys.readouterr().out
+
+    def test_sharded_compare_matches_serial_sharding(self, graph_file, capsys):
+        # The CI parity leg in miniature: same shard count, different jobs,
+        # identical table (jobs only moves *where* shards execute).
+        sharded = self._compare_table(graph_file, capsys, "--shards", "2")
+        serial = self._compare_table(graph_file, capsys, "--shards", "2", "--jobs", "1")
+        assert sharded == serial
+        assert "sharding: 2 colours" in sharded
+
+    def test_jobs_alone_implies_matching_shard_count(self, graph_file, capsys):
+        # ``--jobs N`` without ``--shards`` shards by N colours; jobs=1
+        # keeps the historical serial table (no sharding banner).
+        pooled = self._compare_table(graph_file, capsys, "--jobs", "2")
+        assert "sharding: 2 colours" in pooled
+        inline = self._compare_table(graph_file, capsys, "--shards", "2")
+        assert pooled == inline
+        serial = self._compare_table(graph_file, capsys)
+        assert "sharding" not in serial
+
 
 class TestCompareCanonicalisesOnce:
     def test_compare_uses_one_engine(self, graph_file, capsys, monkeypatch):

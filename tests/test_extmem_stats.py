@@ -93,6 +93,19 @@ class TestPhasesAndMerge:
         assert stats.operations == 0
         assert stats.phases == {}
 
+    def test_charge_phase_adds_pre_measured_totals(self):
+        # The sharded-merge path: fold another machine's already-measured
+        # phase totals without bracketing a local region with snapshots.
+        stats = IOStats()
+        first = stats.snapshot()
+        stats.charge_read(5)
+        stats.record_phase("triples", first)
+        stats.charge_phase("triples", 7)
+        stats.charge_phase("partition", 2)
+        assert stats.phases == {"triples": 12, "partition": 2}
+        with pytest.raises(ValueError):
+            stats.charge_phase("triples", -1)
+
     def test_merge_folds_counters_and_phases(self):
         a = IOStats()
         a.charge_read(1)

@@ -62,10 +62,41 @@ class TestEdgeListFiles:
             read_edge_list(path)
 
     def test_extra_columns_ignored(self, tmp_path):
+        # SNAP exports append weights/timestamps; the default keeps just the
+        # two endpoint labels instead of silently failing.
         path = tmp_path / "weighted.txt"
         path.write_text("1 2 0.5\n2 3 0.7\n")
         graph = read_edge_list(path)
         assert graph.num_edges == 2
+        assert graph.has_edge(1, 2) and graph.has_edge(2, 3)
+
+    def test_extra_columns_error_mode_rejects_with_line_number(self, tmp_path):
+        path = tmp_path / "weighted.txt"
+        path.write_text("1 2\n2 3 1393621093\n")
+        with pytest.raises(GraphFormatError, match="weighted.txt:2"):
+            read_edge_list(path, extra_columns="error")
+        # ...and the clean part of the file still loads in error mode.
+        path.write_text("1 2\n2 3\n")
+        assert read_edge_list(path, extra_columns="error").num_edges == 2
+
+    def test_extra_columns_knob_validated(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2\n")
+        with pytest.raises(ValueError, match="extra_columns"):
+            read_edge_list(path, extra_columns="truncate")
+
+    def test_empty_comment_prefix_rejected(self, tmp_path):
+        # ``line.startswith("")`` is always true: before the fix this
+        # silently skipped every line and returned an empty graph.
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2\n2 3\n")
+        with pytest.raises(GraphFormatError, match="comment_prefix"):
+            read_edge_list(path, comment_prefix="")
+
+    def test_alternative_comment_prefix_still_works(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("% comment\n1 2\n")
+        assert read_edge_list(path, comment_prefix="%").num_edges == 1
 
     def test_written_file_is_sorted_and_commented(self, tmp_path):
         graph = Graph(edges=[(3, 1), (2, 1)])

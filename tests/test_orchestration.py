@@ -22,7 +22,12 @@ from repro.experiments.parallel import (
 from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.run_all import main, run_experiments, write_summary
 from repro.experiments.specs import RunSpec, make_spec, workload_ref
-from repro.experiments.store import ARTIFACT_SCHEMA, ResultStore
+from repro.experiments.store import (
+    ARTIFACT_SCHEMA,
+    ResultStore,
+    atomic_write_json,
+    atomic_write_text,
+)
 from repro.experiments.tasks import TASKS, execute_spec
 from repro.experiments.workloads import (
     WORKLOAD_FACTORIES,
@@ -124,6 +129,39 @@ class TestResultStore:
             assert first[spec] == second[spec]
 
 
+class TestAtomicWrites:
+    def test_atomic_write_json_round_trip_and_no_temp_litter(self, tmp_path):
+        target = tmp_path / "deep" / "results.json"
+        atomic_write_json(target, {"b": 2, "a": 1})
+        assert json.loads(target.read_text()) == {"a": 1, "b": 2}
+        assert [p.name for p in target.parent.iterdir()] == ["results.json"]
+
+    def test_failed_write_leaves_previous_content_intact(self, tmp_path, monkeypatch):
+        target = tmp_path / "summary.json"
+        atomic_write_json(target, {"generation": 1})
+
+        import repro.experiments.store as store_module
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store_module.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "{ torn garbage")
+        monkeypatch.undo()
+        # The crash mid-write neither corrupted the target nor left a temp file.
+        assert json.loads(target.read_text()) == {"generation": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["summary.json"]
+
+    def test_temp_files_never_match_the_artifact_glob(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = tiny_spec()
+        path = store.put(spec, {"triangles": 3})
+        temp_name = path.with_name(f"{path.name}.tmp123").name
+        (tmp_path / temp_name).write_text("in flight")
+        assert [p.name for p in store.artifact_paths()] == [path.name]
+
+
 class TestParallelRunner:
     def test_serial_execution_matches_oracle(self):
         spec = tiny_spec()
@@ -159,6 +197,36 @@ class TestParallelRunner:
     def test_unknown_task_raises_with_candidates(self):
         with pytest.raises(KeyError, match="unknown task"):
             execute_spec(make_spec("no_such_task"))
+
+    def test_edges_task_accepts_sharding(self):
+        serial = execute_spec(tiny_spec(algorithm="cache_aware"))
+        sharded_spec = make_spec(
+            "edges",
+            workload=workload_ref("sparse_random", num_edges=60),
+            algorithm="cache_aware",
+            memory=64,
+            block=8,
+            seed=1,
+            shards=2,
+        )
+        sharded = execute_spec(sharded_spec)
+        assert sharded["triangles"] == serial["triangles"]
+        assert sharded["shards"] == 2
+        # The engine's triples mode keeps sharded counters bit-identical to
+        # the serial run with the same colouring.
+        colored = execute_spec(
+            make_spec(
+                "edges",
+                workload=workload_ref("sparse_random", num_edges=60),
+                algorithm="cache_aware",
+                memory=64,
+                block=8,
+                seed=1,
+                options={"num_colors": 2},
+            )
+        )
+        for field in ("reads", "writes", "operations", "total_ios", "phases"):
+            assert sharded[field] == colored[field]
 
 
 class TestNewWorkloads:
