@@ -41,6 +41,7 @@ import random
 import sys
 import time
 from pathlib import Path
+from typing import Any
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
@@ -59,10 +60,26 @@ from repro.graph.io import graph_to_file  # noqa: E402
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
 
 #: Input sizes per mode; smoke is sized for a CI job, full for perf tracking.
-#: ``shards``/``jobs`` configure the shard-scaling benchmark.
+#: ``shards``/``jobs`` configure the shard-scaling benchmark;
+#: ``fastpath_edges`` the vectorized-backend benchmark (ISSUE 5 pins the
+#: full-mode comparison at E=100k).
 SIZES = {
-    "full": {"records": 20_000, "edges": 50_000, "repeats": 3, "shards": 4, "jobs": 4},
-    "smoke": {"records": 2_000, "edges": 4_000, "repeats": 1, "shards": 2, "jobs": 2},
+    "full": {
+        "records": 20_000,
+        "edges": 50_000,
+        "repeats": 3,
+        "shards": 4,
+        "jobs": 4,
+        "fastpath_edges": 100_000,
+    },
+    "smoke": {
+        "records": 2_000,
+        "edges": 4_000,
+        "repeats": 1,
+        "shards": 2,
+        "jobs": 2,
+        "fastpath_edges": 8_000,
+    },
 }
 #: Counters compared by ``--check`` (wall-clock time deliberately excluded).
 CHECKED_FIELDS = ("reads", "writes", "operations")
@@ -166,6 +183,67 @@ def bench_engine_reuse(num_edges: int, repeats: int) -> dict:
         "reuse_speedup": round(one_shot_best / reuse_best, 2) if reuse_best > 0 else None,
         "triangles": triangles,
         "io": io,
+    }
+
+
+def bench_fastpath(num_edges: int, repeats: int) -> dict:
+    """Vectorized in-memory backend versus the pure-Python oracle.
+
+    Measured through the public engine API in its documented usage: one
+    :class:`TriangleEngine` per graph, many count-only runs against it.
+    Three legs per repetition (best time kept): ``in_memory`` (the
+    reference oracle, which rebuilds its dict-of-sets adjacency every run),
+    ``vector_count`` (the registered count-only adapter over the per-engine
+    cached CSR) and ``vector_enum`` (full enumeration into a counting
+    sink).  ``cold_count_seconds`` records the first ``vector_count`` run
+    separately -- it pays the one-time array packing + CSR build that every
+    later run of the same engine skips.
+
+    No simulated machine is involved, so the ``io`` triple is identically
+    zero and the pinned golden reduces to the triangle count; the quantity
+    tracked across PRs is ``count_speedup``.  Falls back to the pure-Python
+    path (speedup ~1x) when NumPy is not installed -- the counters stay
+    identical either way.
+    """
+    from repro.fastpath import HAVE_NUMPY
+
+    graph = erdos_renyi_gnm(max(64, num_edges * 3 // 10), num_edges, seed=7)
+    edges = graph.degree_order().edges
+    engine = TriangleEngine.from_canonical_edges(edges, validate=False)
+    started = time.perf_counter()
+    triangles = engine.count("vector_count")
+    cold_seconds = time.perf_counter() - started
+    oracle_times: list[float] = []
+    count_times: list[float] = []
+    enum_times: list[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        oracle = engine.count("in_memory")
+        oracle_times.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        counted = engine.count("vector_count")
+        count_times.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        enumerated = engine.count("vector_enum")
+        enum_times.append(time.perf_counter() - started)
+        assert counted == oracle == enumerated == triangles, "fastpath drifted from the oracle"
+    oracle_best = min(oracle_times)
+    count_best = min(count_times)
+    enum_best = min(enum_times)
+    return {
+        "edges": num_edges,
+        "backend": "numpy" if HAVE_NUMPY else "python",
+        "machine": {"M": 0, "B": 0},  # in-memory: no simulated machine
+        "wall_seconds": count_best,
+        "oracle_seconds": oracle_best,
+        "enum_seconds": enum_best,
+        "cold_count_seconds": round(cold_seconds, 6),
+        "count_speedup": round(oracle_best / count_best, 2) if count_best > 0 else None,
+        "enum_speedup": round(oracle_best / enum_best, 2) if enum_best > 0 else None,
+        "triangles": triangles,
+        "io": {"reads": 0, "writes": 0, "operations": 0},
     }
 
 
@@ -281,16 +359,30 @@ def _pool_spawn_seconds(jobs: int) -> float:
 
 
 def run_all(
-    num_records: int, num_edges: int, repeats: int, shards: int, jobs: int
+    num_records: int,
+    num_edges: int,
+    repeats: int,
+    shards: int,
+    jobs: int,
+    fastpath_edges: int,
+    only: str | None = None,
 ) -> dict[str, dict]:
-    return {
-        f"substrate_sort_{num_records // 1000}k": bench_substrate_sort(num_records, repeats),
-        f"cache_aware_e{num_edges // 1000}k": bench_cache_aware(num_edges, repeats),
-        f"engine_reuse_e{num_edges // 5}": bench_engine_reuse(num_edges // 5, repeats),
-        f"shard_scaling_e{num_edges // 1000}k": bench_shard_scaling(
+    """Run the benchmarks (lazily), optionally filtered by name substring."""
+    thunks: dict[str, Any] = {
+        f"substrate_sort_{num_records // 1000}k": lambda: bench_substrate_sort(
+            num_records, repeats
+        ),
+        f"cache_aware_e{num_edges // 1000}k": lambda: bench_cache_aware(num_edges, repeats),
+        f"engine_reuse_e{num_edges // 5}": lambda: bench_engine_reuse(num_edges // 5, repeats),
+        f"shard_scaling_e{num_edges // 1000}k": lambda: bench_shard_scaling(
             num_edges, repeats, shards, jobs
         ),
+        f"fastpath_e{fastpath_edges // 1000}k": lambda: bench_fastpath(fastpath_edges, repeats),
     }
+    selected = {name: thunk for name, thunk in thunks.items() if only is None or only in name}
+    if not selected:
+        raise SystemExit(f"--only {only!r} matches no benchmark; available: {', '.join(thunks)}")
+    return {name: thunk() for name, thunk in selected.items()}
 
 
 def _speedups(runs: dict) -> dict[str, dict[str, float]]:
@@ -381,6 +473,12 @@ def main(argv: list[str] | None = None) -> int:
         default="results",
         help="experiment result store to mirror benchmark artifacts into ('' disables)",
     )
+    parser.add_argument(
+        "--only",
+        help="run only benchmarks whose name contains this substring "
+        "(e.g. --only fastpath); --pin-golden merges rather than replaces, "
+        "so a filtered pin never drops other benchmarks' golden counters",
+    )
     args = parser.parse_args(argv)
     if args.check and args.pin_golden:
         parser.error("--check and --pin-golden are mutually exclusive; pin first, then check")
@@ -391,7 +489,15 @@ def main(argv: list[str] | None = None) -> int:
     num_edges = args.edges if args.edges is not None else sizes["edges"]
     repeats = args.repeats if args.repeats is not None else sizes["repeats"]
 
-    benchmarks = run_all(num_records, num_edges, repeats, sizes["shards"], sizes["jobs"])
+    benchmarks = run_all(
+        num_records,
+        num_edges,
+        repeats,
+        sizes["shards"],
+        sizes["jobs"],
+        sizes["fastpath_edges"],
+        only=args.only,
+    )
     if args.results_dir:
         persist_artifacts(benchmarks, args.results_dir, mode)
 
@@ -422,16 +528,20 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.pin_golden:
-        data.setdefault("golden", {})[mode] = {
-            name: _golden_entry(result) for name, result in benchmarks.items()
-        }
+        # Merge, not replace: a --only-filtered pin must never drop the
+        # golden counters of benchmarks that did not run.
+        data.setdefault("golden", {}).setdefault(mode, {}).update(
+            {name: _golden_entry(result) for name, result in benchmarks.items()}
+        )
     else:
+        # Merge into an existing label (same semantics as --pin-golden): a
+        # --only-filtered run must never drop the label's other recorded
+        # benchmarks from the cross-PR trajectory.
         runs = data.setdefault("runs", {})
-        runs[args.label] = {
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "python": platform.python_version(),
-            "benchmarks": benchmarks,
-        }
+        entry = runs.setdefault(args.label, {"benchmarks": {}})
+        entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        entry["python"] = platform.python_version()
+        entry.setdefault("benchmarks", {}).update(benchmarks)
         data["speedup"] = _speedups(runs)
     args.output.write_text(json.dumps(data, indent=2) + "\n")
 

@@ -119,9 +119,11 @@ def _build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument(
         "--algorithms",
         nargs="+",
-        choices=available,
-        default=_default_compare_algorithms(),
-        help="algorithms to compare (default: every explicit-machine algorithm)",
+        metavar="NAME[,NAME...]",
+        default=None,
+        help="algorithms to compare, space- and/or comma-separated (e.g. "
+        "--algorithms cache_aware,vector_count); default: every "
+        "explicit-machine algorithm",
     )
     compare_parser.add_argument(
         "--shards",
@@ -215,9 +217,33 @@ def _command_enumerate(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_algorithm_filter(tokens: Sequence[str] | None) -> list[str]:
+    """Resolve the ``compare --algorithms`` filter into registry names.
+
+    Tokens may be space-separated, comma-separated, or both (benchmark and
+    CI legs pass one comma-joined token so the whole filter is a single
+    shell word).  Unknown names raise :class:`SystemExit` with the
+    available registry, mirroring argparse's own choice errors.
+    """
+    if tokens is None:
+        return _default_compare_algorithms()
+    names = [name for token in tokens for name in token.split(",") if name]
+    known = set(algorithm_names())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown algorithm(s) {', '.join(map(repr, unknown))}; "
+            f"available: {', '.join(sorted(known))}"
+        )
+    if not names:
+        raise SystemExit("error: --algorithms needs at least one algorithm name")
+    return names
+
+
 def _command_compare(arguments: argparse.Namespace) -> int:
     graph = read_edge_list(arguments.graph)
     params = _machine_params(arguments)
+    algorithms = _parse_algorithm_filter(arguments.algorithms)
     # ``--jobs N`` without an explicit shard count shards by N colours, so
     # that asking for parallelism alone does something useful; the printed
     # table is bit-identical for any N at a fixed shard count.
@@ -231,7 +257,7 @@ def _command_compare(arguments: argparse.Namespace) -> int:
     if shards is not None:
         print(f"sharding: {shards} colours ({shards ** 3} colour triples max)")
     print(f"{'algorithm':16s} {'triangles':>10s} {'I/Os':>12s} {'reads':>10s} {'writes':>10s}")
-    for algorithm in arguments.algorithms:
+    for algorithm in algorithms:
         # Sharding is only defined for explicit-machine algorithms; an
         # opted-in oblivious/in-memory algorithm simply runs serially
         # instead of aborting the sweep mid-table.

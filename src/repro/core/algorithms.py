@@ -184,3 +184,10 @@ def _run_bnlj(context: SubstrateContext, sink: Any, options: AlgorithmOptions) -
 def _run_in_memory(context: SubstrateContext, sink: Any, options: AlgorithmOptions) -> Any:
     triangles_in_memory(context.edges, sink)
     return None
+
+
+# The vectorized in-memory backend registers ``vector_count`` /
+# ``vector_enum`` on import, riding the same lazy _ensure_builtins path as
+# the registrations above (repro.fastpath never imports back into this
+# module, so the import is cycle-free).
+import repro.fastpath.algorithms  # noqa: E402,F401

@@ -20,7 +20,9 @@ Four consumption modes::
 
 The count-only path skips the per-triangle rank→label translation entirely
 (the algorithm emits straight into a counting sink), which is what the
-experiment sweeps use.  Streaming runs the algorithm on a worker thread and
+experiment sweeps use; algorithms that register a count-only adapter
+(``counter`` on the spec, e.g. the vectorized ``vector_count``) skip
+emission altogether and just report the total.  Streaming runs the algorithm on a worker thread and
 hands label-triangle batches across a bounded queue, so consumers iterate
 with the memory footprint of one batch.
 """
@@ -205,6 +207,10 @@ class TriangleEngine:
         self._edges: list[tuple[int, int]] = order.edges
         self._num_vertices = graph_obj.num_vertices
         self.default_params = params
+        #: Shared by every run via ``SubstrateContext.cache``: algorithms
+        #: stash representations derived from the (immutable) canonical
+        #: edges here, e.g. the vectorized backend's packed CSR.
+        self._substrate_cache: dict[str, Any] = {}
 
     @classmethod
     def from_canonical_edges(
@@ -227,6 +233,47 @@ class TriangleEngine:
         engine._edges = edges
         engine._num_vertices = 0
         engine.default_params = params
+        engine._substrate_cache = {}
+        return engine
+
+    @classmethod
+    def from_edge_array(
+        cls,
+        edges: Any,
+        params: MachineParams | None = None,
+    ) -> "TriangleEngine":
+        """Build an engine from a raw *integer* edge array, vectorized.
+
+        The array-native ingestion path (:mod:`repro.fastpath.arrays`):
+        orientation, deduplication and degree-ranking run as array
+        operations instead of the dict-of-sets ``Graph`` build, which is
+        the fast way in for large ``(E, 2)`` NumPy arrays or integer pair
+        lists.  Semantics match the ``Graph`` constructor -- self-loops
+        raise, duplicates merge -- but equal-degree ties rank by *label*
+        rather than ``Graph.degree_order``'s repr-order, so rank-space
+        triangles may differ between the two constructors while label-space
+        triangle sets are identical.  Falls back to a pure-Python mirror
+        with the same tie-breaking when NumPy is absent.
+        """
+        from repro.fastpath import arrays as fastpath_arrays
+
+        if fastpath_arrays.HAVE_NUMPY:
+            canonical = fastpath_arrays.canonicalize_edge_array(edges)
+            ranked = canonical.edge_list()
+            vertex_of = tuple(canonical.vertex_of.tolist())
+        else:
+            ranked, labels = fastpath_arrays.canonicalize_edges_python(edges)
+            vertex_of = tuple(labels)
+        engine = cls.__new__(cls)
+        engine._order = DegreeOrder(
+            vertex_of=vertex_of,
+            rank_of={vertex: rank for rank, vertex in enumerate(vertex_of)},
+            edges=ranked,
+        )
+        engine._edges = ranked
+        engine._num_vertices = len(vertex_of)
+        engine.default_params = params
+        engine._substrate_cache = {}
         return engine
 
     # ------------------------------------------------------------------
@@ -318,25 +365,41 @@ class TriangleEngine:
 
         stats = IOStats()
         started = time.perf_counter()
-        context = SubstrateContext(params=run_params, stats=stats, seed=seed)
-        disk_peak = 0
-        phases: dict[str, int] | None = None
+        context = SubstrateContext(
+            params=run_params, stats=stats, seed=seed, cache=self._substrate_cache
+        )
+        machine: Machine | None = None
+        vm: ObliviousVM | None = None
         if spec.substrate == "machine":
             machine = Machine(run_params, stats)
             context.machine = machine
             context.edge_file = edges_to_file(machine, self._edges)
-            report = spec.runner(context, ranked_sink, resolved)
-            disk_peak = machine.disk.peak_words
-            phases = machine.stats.phases
         elif spec.substrate == "oblivious-vm":
             vm = ObliviousVM(run_params, stats)
             context.vm = vm
             context.edge_vector = edges_to_vector(vm, self._edges)
-            report = spec.runner(context, ranked_sink, resolved)
-            disk_peak = vm.peak_words
         else:  # in-memory
             context.edges = self._edges
+        if inner is None and spec.counter is not None:
+            # Registered count-only adapter: answer the count query without
+            # emitting (or translating) a single triangle.  ``ranked_sink``
+            # is the plain CountingSink on this branch; adopt the total so
+            # the result assembly below stays uniform.  Counters may return
+            # a bare count or a ``(count, report)`` pair.
+            outcome = spec.counter(context, resolved)
+            if isinstance(outcome, tuple):
+                ranked_sink.count, report = outcome
+            else:
+                ranked_sink.count, report = outcome, None
+        else:
             report = spec.runner(context, ranked_sink, resolved)
+        disk_peak = 0
+        phases: dict[str, int] | None = None
+        if machine is not None:
+            disk_peak = machine.disk.peak_words
+            phases = machine.stats.phases
+        elif vm is not None:
+            disk_peak = vm.peak_words
         elapsed = time.perf_counter() - started
 
         return RunResult(

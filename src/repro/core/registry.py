@@ -165,10 +165,25 @@ class SubstrateContext:
     #: :func:`repro.core.cache_aware.enumerate_colored_triples`.  ``None``
     #: (the default) means run the triples phase in-process as usual.
     triples_executor: Callable[..., int] | None = None
+    #: Per-engine scratch shared by every run of the same prepared graph
+    #: (``None`` outside an engine).  The engine canonicalises once; an
+    #: algorithm may likewise derive an input representation once -- the
+    #: vectorized backend stashes its packed CSR here -- keyed by strings
+    #: of its own choosing.  Entries must be pure functions of the
+    #: (immutable) canonical edge list plus the key.
+    cache: dict[str, Any] | None = None
 
 
 #: Adapter signature: ``(context, sink, options) -> report``.
 AlgorithmRunner = Callable[[SubstrateContext, Any, AlgorithmOptions], Any]
+
+#: Count-only adapter signature: ``(context, options) -> count`` or
+#: ``(context, options) -> (count, report)``.  Optional; algorithms that
+#: can count without materialising (or even emitting) triangles register
+#: one and the engine's count-only path calls it instead of the full
+#: runner, carrying the optional report onto the :class:`RunResult` just
+#: like a runner's return value.
+AlgorithmCounter = Callable[[SubstrateContext, AlgorithmOptions], "int | tuple[int, Any]"]
 
 
 @dataclass(frozen=True)
@@ -186,6 +201,10 @@ class AlgorithmSpec:
     #: Sharded-execution capability (meaningful for ``machine`` algorithms
     #: only; see :data:`SHARDING_MODES`).
     sharding: str = "subgraph"
+    #: Optional count-only adapter; when present,
+    #: :meth:`TriangleEngine.count` (and any ``run`` without a sink or
+    #: ``collect``) dispatches here and skips triangle emission entirely.
+    counter: "AlgorithmCounter | None" = None
 
     def resolve_options(
         self,
@@ -275,12 +294,16 @@ def register_algorithm(
     accepts_seed: bool,
     options: type[AlgorithmOptions] = NoOptions,
     sharding: str = "subgraph",
+    counter: "AlgorithmCounter | None" = None,
 ) -> Callable[[AlgorithmRunner], AlgorithmRunner]:
     """Register an algorithm adapter under ``name`` and return it unchanged.
 
-    Raises :class:`repro.exceptions.RegistrationError` for duplicate names,
-    unknown substrate kinds, unknown sharding modes or options types that
-    are not :class:`AlgorithmOptions` dataclasses.
+    ``counter`` optionally supplies a count-only adapter (see
+    :data:`AlgorithmCounter`); the engine uses it to answer count queries
+    without emitting a single triangle.  Raises
+    :class:`repro.exceptions.RegistrationError` for duplicate names, unknown
+    substrate kinds, unknown sharding modes, options types that are not
+    :class:`AlgorithmOptions` dataclasses, or non-callable counters.
     """
     if substrate not in SUBSTRATES:
         raise RegistrationError(
@@ -295,6 +318,10 @@ def register_algorithm(
     if not (isinstance(options, type) and issubclass(options, AlgorithmOptions)):
         raise RegistrationError(
             f"algorithm {name!r}: options must be an AlgorithmOptions subclass, got {options!r}"
+        )
+    if counter is not None and not callable(counter):
+        raise RegistrationError(
+            f"algorithm {name!r}: counter must be callable or None, got {counter!r}"
         )
 
     def register(runner: AlgorithmRunner) -> AlgorithmRunner:
@@ -317,6 +344,7 @@ def register_algorithm(
             runner=runner,
             options_type=options,
             sharding=sharding,
+            counter=counter,
         )
         return runner
 

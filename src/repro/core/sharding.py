@@ -65,6 +65,7 @@ from repro.core.registry import (
 )
 from repro.exceptions import OptionsError, ReproError
 from repro.extmem.machine import Machine
+from repro.fastpath.arrays import HAVE_NUMPY
 from repro.extmem.stats import IOStats
 from repro.graph.io import edges_to_file
 from repro.hashing.coloring import Coloring, ConstantColoring, RandomColoring
@@ -440,13 +441,50 @@ def _partition_by_color_pairs(
 
     Pure-Python orchestration (no simulated I/O).  Each class preserves the
     canonical lexicographic order, so any union of classes merges back into
-    a canonical edge list.
+    a canonical edge list.  With NumPy available the grouping runs through
+    the array fast path (:func:`_partition_by_color_pairs_vectorized`):
+    identical classes in identical order, built by one stable argsort over
+    packed colour-pair keys instead of a per-edge Python loop.
     """
+    if HAVE_NUMPY and len(edges) > 1:
+        return _partition_by_color_pairs_vectorized(edges, coloring)
     classes: dict[tuple[int, int], list[RankedEdge]] = {}
     colors_u = bulk_colors(coloring, [edge[0] for edge in edges])
     colors_v = bulk_colors(coloring, [edge[1] for edge in edges])
     for edge, cu, cv in zip(edges, colors_u, colors_v):
         classes.setdefault((cu, cv), []).append(edge)
+    return classes
+
+
+def _partition_by_color_pairs_vectorized(
+    edges: Sequence[RankedEdge], coloring: Coloring
+) -> dict[tuple[int, int], list[RankedEdge]]:
+    """Array fast path of :func:`_partition_by_color_pairs` (same output).
+
+    Endpoint colours are assigned in one unique-vertex batch
+    (:func:`repro.fastpath.coloring.edge_color_pairs`, bit-identical to the
+    serial hash), edges are grouped by a *stable* sort over packed
+    colour-pair keys -- preserving canonical order inside every class --
+    and each class is sliced out wholesale.
+    """
+    import numpy as np
+
+    from repro.fastpath.coloring import edge_color_pairs
+
+    array = np.asarray(edges, dtype=np.int64)
+    colors_u, colors_v = edge_color_pairs(coloring, array)
+    keys = colors_u * coloring.num_colors + colors_v
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_edges = array[order]
+    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    starts = np.concatenate(([0], boundaries))
+    stops = np.concatenate((boundaries, [sorted_keys.shape[0]]))
+    classes: dict[tuple[int, int], list[RankedEdge]] = {}
+    for start, stop in zip(starts.tolist(), stops.tolist()):
+        key = int(sorted_keys[start])
+        pair = (key // coloring.num_colors, key % coloring.num_colors)
+        classes[pair] = [tuple(edge) for edge in sorted_edges[start:stop].tolist()]
     return classes
 
 

@@ -57,6 +57,15 @@ class OptionsError(AlgorithmError):
     """
 
 
+class FastPathUnavailableError(ReproError):
+    """Raised when the vectorized fast path is requested but NumPy is absent.
+
+    The ``vector_*`` algorithms never raise this -- they fall back to the
+    pure-Python reference path automatically; only direct calls into
+    :mod:`repro.fastpath` array helpers surface it.
+    """
+
+
 class DerandomizationError(AlgorithmError):
     """Raised when the greedy derandomization cannot certify its potential.
 

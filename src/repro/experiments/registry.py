@@ -9,6 +9,7 @@ from repro.experiments import (
     exp_cache_oblivious,
     exp_coloring,
     exp_e_scaling,
+    exp_fastpath,
     exp_join,
     exp_kclique,
     exp_lower_bound,
@@ -34,6 +35,7 @@ EXPERIMENTS: dict[str, ModuleType] = {
     exp_ablation.EXPERIMENT_ID: exp_ablation,
     exp_kclique.EXPERIMENT_ID: exp_kclique,
     exp_multilevel.EXPERIMENT_ID: exp_multilevel,
+    exp_fastpath.EXPERIMENT_ID: exp_fastpath,
 }
 
 

@@ -131,8 +131,8 @@ class TestTables:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert len(EXPERIMENTS) == 12
-        assert list_experiments() == [f"EXP{i}" for i in range(1, 13)]
+        assert len(EXPERIMENTS) == 13
+        assert list_experiments() == [f"EXP{i}" for i in range(1, 14)]
 
     def test_get_experiment_case_insensitive(self):
         assert get_experiment("exp1") is EXPERIMENTS["EXP1"]

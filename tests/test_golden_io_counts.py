@@ -24,6 +24,7 @@ import pytest
 from repro.analysis.model import MachineParams
 from repro.core.api import enumerate_triangles
 from repro.core.baselines.in_memory import triangles_in_memory
+from repro.core.engine import TriangleEngine
 from repro.graph.generators import barabasi_albert, erdos_renyi_gnm, planted_triangles
 
 PARAMS = MachineParams(256, 16)
@@ -86,6 +87,56 @@ def oracle_triangles(graphs):
         ranked = {tuple(sorted(t)) for t in triangles_in_memory(order.edges)}
         oracles[name] = {tuple(sorted(order.to_labels(t))) for t in ranked}
     return oracles
+
+
+#: algorithm -> exact (reads, writes, operations) of a sharded run on the
+#: "gnm" graph with ``shards=2, jobs=2`` (identical for any job count by
+#: construction; the test runs jobs=2 to cross the spawn-pool boundary).
+#: ``cache_aware`` distributes its own colour-triple phase (sharding mode
+#: ``triples``), so its sharded counters equal the serial golden triple
+#: above; the subgraph-mode algorithms measure the decomposed instances and
+#: pin their own values.
+SHARDED_SHARDS = 2
+SHARDED_JOBS = 2
+GOLDEN_SHARDED_COUNTS: dict[str, tuple[int, int, int]] = {
+    "cache_aware": (543, 233, 9378),
+    "deterministic": (1875, 883, 180411),
+    "hu_tao_chung": (506, 0, 10024),
+    "dementiev": (536, 328, 8524),
+    "bnlj": (4777, 0, 68211),
+}
+
+
+@pytest.fixture(scope="module")
+def gnm_engine(graphs):
+    """One shared engine over the "gnm" graph for every sharded golden run."""
+    return TriangleEngine(graphs["gnm"], params=PARAMS)
+
+
+@pytest.mark.parametrize("algorithm", sorted(GOLDEN_SHARDED_COUNTS))
+def test_golden_sharded_io_counts(gnm_engine, oracle_triangles, algorithm):
+    """Shard-merge regressions are pinned exactly like serial I/O counts."""
+    result = gnm_engine.run(
+        algorithm,
+        seed=SEED,
+        collect=True,
+        shards=SHARDED_SHARDS,
+        jobs=SHARDED_JOBS,
+    )
+    expected = GOLDEN_SHARDED_COUNTS[algorithm]
+    actual = (result.io.reads, result.io.writes, result.io.operations)
+    assert actual == expected, (
+        f"sharded {algorithm} (shards={SHARDED_SHARDS}, jobs={SHARDED_JOBS}): counters "
+        f"moved from {expected} to {actual}; the shard decomposition or merge changed"
+    )
+    assert result.triangle_count == GOLDEN_TRIANGLES["gnm"]
+    emitted = {tuple(sorted(t)) for t in result.triangles}
+    assert emitted == oracle_triangles["gnm"]
+
+
+def test_sharded_cache_aware_matches_serial_golden():
+    """Triples-mode sharding must keep the *serial* counters bit for bit."""
+    assert GOLDEN_SHARDED_COUNTS["cache_aware"] == GOLDEN_COUNTS[("gnm", "cache_aware")]
 
 
 @pytest.mark.parametrize("graph_name", sorted({g for g, _ in GOLDEN_COUNTS}))

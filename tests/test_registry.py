@@ -18,6 +18,8 @@ from repro.core.registry import (
 )
 from repro.exceptions import AlgorithmError, OptionsError, RegistrationError
 
+#: The seven paper/baseline algorithms plus the two vectorized in-memory
+#: registrations of :mod:`repro.fastpath.algorithms`.
 BUILTINS = [
     "cache_aware",
     "deterministic",
@@ -26,11 +28,13 @@ BUILTINS = [
     "dementiev",
     "bnlj",
     "in_memory",
+    "vector_count",
+    "vector_enum",
 ]
 
 
 class TestBuiltins:
-    def test_all_seven_builtins_registered_in_order(self):
+    def test_all_builtins_registered_in_order(self):
         assert algorithm_names() == BUILTINS
 
     def test_substrate_kinds(self):
@@ -147,7 +151,7 @@ class TestFreshInterpreterBehaviour:
         completed = self._run(
             "from repro.core.api import ALGORITHMS\n"
             "assert ALGORITHMS.get('cache_aware') is not None\n"
-            "assert len(ALGORITHMS.values()) == 7\n"
+            "assert len(ALGORITHMS.values()) == 9\n"
         )
         assert completed.returncode == 0, completed.stderr
 
