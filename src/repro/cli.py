@@ -77,6 +77,28 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _positive_float(value: str) -> float:
+    """argparse type for knobs that must be > 0 (``--task-timeout``)."""
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}") from None
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return number
+
+
+def _non_negative_int(value: str) -> int:
+    """argparse type for knobs that must be >= 0 (``--max-retries``)."""
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return number
+
+
 def _algorithm_help(default: str | None = None) -> str:
     """One-line ``--algorithm`` help text derived from the registry."""
     names = ", ".join(algorithm_names())
@@ -140,6 +162,21 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes per sharded run (default 1; results are "
         "bit-identical for any N)",
+    )
+    compare_parser.add_argument(
+        "--task-timeout",
+        type=_positive_float,
+        metavar="SECONDS",
+        help="kill and retry a shard whose worker runs longer than this "
+        "(requires sharded execution; default: no timeout)",
+    )
+    compare_parser.add_argument(
+        "--max-retries",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="retries per shard for crashed, hung or failing workers "
+        "(requires sharded execution; default 2)",
     )
     _add_machine_arguments(compare_parser)
 
@@ -250,6 +287,11 @@ def _command_compare(arguments: argparse.Namespace) -> int:
     shards = arguments.shards
     if shards is None and arguments.jobs > 1:
         shards = arguments.jobs
+    if shards is None and (arguments.task_timeout is not None or arguments.max_retries is not None):
+        raise SystemExit(
+            "error: --task-timeout/--max-retries tune sharded execution; "
+            "pass --shards C (or --jobs N) to enable it"
+        )
     # One engine: the graph is canonicalised once and shared by every run.
     engine = TriangleEngine(graph, params=params)
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
@@ -268,6 +310,8 @@ def _command_compare(arguments: argparse.Namespace) -> int:
             collect=False,
             shards=shards if shardable else None,
             jobs=arguments.jobs if shardable else 1,
+            task_timeout=arguments.task_timeout if shardable else None,
+            max_retries=arguments.max_retries if shardable else None,
         )
         suffix = "" if shardable or shards is None else "  (serial: not a machine algorithm)"
         print(

@@ -42,6 +42,7 @@ from repro.core.registry import (
     get_algorithm,
 )
 from repro.core.result import RunResult
+from repro.exceptions import ReproError, StreamWorkerError
 from repro.extmem.machine import Machine
 from repro.extmem.oblivious import ObliviousVM
 from repro.extmem.stats import IOStats
@@ -312,6 +313,8 @@ class TriangleEngine:
         collect: bool = False,
         shards: int | None = None,
         jobs: int = 1,
+        task_timeout: float | None = None,
+        max_retries: int | None = None,
         options: AlgorithmOptions | Mapping[str, Any] | None = None,
         **option_kwargs: Any,
     ) -> RunResult:
@@ -332,11 +335,14 @@ class TriangleEngine:
         subproblems, each executed on a fresh substrate -- across ``jobs``
         worker processes when ``jobs > 1`` -- and merged deterministically.
         Only ``machine``-kind algorithms accept it
-        (:class:`~repro.exceptions.OptionsError` otherwise).
+        (:class:`~repro.exceptions.OptionsError` otherwise).  ``task_timeout``
+        and ``max_retries`` tune the supervision of those shard workers (a
+        dead or hung worker's shard is retried, bit-identically); they
+        require ``shards``.
         """
         spec = get_algorithm(algorithm)
         resolved = spec.resolve_options(options, option_kwargs)
-        sharding = spec.resolve_sharding(shards, jobs)
+        sharding = spec.resolve_sharding(shards, jobs, task_timeout, max_retries)
         run_params = params or self.default_params or MachineParams.default()
 
         collector = _LabelCollector() if collect else None
@@ -475,6 +481,8 @@ class TriangleEngine:
         seed: int = 0,
         shards: int | None = None,
         jobs: int = 1,
+        task_timeout: float | None = None,
+        max_retries: int | None = None,
         options: AlgorithmOptions | Mapping[str, Any] | None = None,
         **option_kwargs: Any,
     ) -> int:
@@ -486,6 +494,8 @@ class TriangleEngine:
             collect=False,
             shards=shards,
             jobs=jobs,
+            task_timeout=task_timeout,
+            max_retries=max_retries,
             options=options,
             **option_kwargs,
         )
@@ -506,8 +516,12 @@ class TriangleEngine:
         The algorithm runs on a worker thread and pushes batches of at most
         ``batch_size`` triangles across a bounded queue; the consumer holds
         one batch at a time.  Abandoning the iterator early (``break``,
-        ``close()``) tears the worker down.  Exceptions raised by the run are
-        re-raised at the consuming side.
+        ``close()``) tears the worker down.  Exceptions raised by the run
+        surface at the consuming side: library errors (:class:`ReproError`,
+        e.g. a bad option) re-raise as-is, anything else is wrapped in a
+        :class:`~repro.exceptions.StreamWorkerError` with the original as
+        ``__cause__`` -- a worker failure is a typed error, never a silently
+        truncated stream.
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -547,8 +561,15 @@ class TriangleEngine:
                     yield payload
                 elif kind == "done":
                     return
-                else:
+                elif isinstance(payload, ReproError) or not isinstance(payload, Exception):
+                    # Library errors keep their type; BaseExceptions
+                    # (KeyboardInterrupt) must propagate untouched.
                     raise payload
+                else:
+                    raise StreamWorkerError(
+                        f"stream worker for algorithm {algorithm!r} failed: "
+                        f"{type(payload).__name__}: {payload}"
+                    ) from payload
         finally:
             stop.set()
             # Termination proof for this drain loop: every worker-side queue

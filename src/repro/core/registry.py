@@ -122,13 +122,23 @@ class ShardingOptions:
     ``c**3`` independent colour-triple subproblems.  ``jobs`` is the number
     of worker processes the subproblems are distributed over (1 executes
     them in-process, in triple order).
+
+    ``task_timeout`` and ``max_retries`` tune the supervised execution tier
+    (:func:`repro.resilience.supervised_map_unordered`) that ships the
+    subproblems to the pool: a shard whose worker dies, hangs past the
+    timeout, or raises is retried up to ``max_retries`` times before the
+    run fails with a :class:`~repro.core.sharding.ShardExecutionError`.
+    Retries cannot change results -- every shard is a pure function of its
+    task payload.
     """
 
     shards: int = 1
     jobs: int = 1
+    task_timeout: float | None = None
+    max_retries: int = 2
 
     def validate(self) -> None:
-        """Check both knobs are in-range integers."""
+        """Check every knob is in range."""
         for name in ("shards", "jobs"):
             value = getattr(self, name)
             if isinstance(value, bool) or not isinstance(value, int):
@@ -140,6 +150,17 @@ class ShardingOptions:
                 f"shards must be <= {MAX_SHARDS} "
                 f"(shards**3 colour triples are enumerated), got {self.shards}"
             )
+        if self.task_timeout is not None:
+            if isinstance(self.task_timeout, bool) or not isinstance(
+                self.task_timeout, (int, float)
+            ):
+                raise OptionsError(f"task_timeout must be a number, got {self.task_timeout!r}")
+            if self.task_timeout <= 0:
+                raise OptionsError(f"task_timeout must be positive, got {self.task_timeout}")
+        if isinstance(self.max_retries, bool) or not isinstance(self.max_retries, int):
+            raise OptionsError(f"max_retries must be an int, got {self.max_retries!r}")
+        if self.max_retries < 0:
+            raise OptionsError(f"max_retries must be >= 0, got {self.max_retries}")
 
 
 @dataclass
@@ -239,15 +260,23 @@ class AlgorithmSpec:
         merged.update(extra)
         return self.options_type.from_mapping(merged)
 
-    def resolve_sharding(self, shards: int | None, jobs: int = 1) -> "ShardingOptions | None":
+    def resolve_sharding(
+        self,
+        shards: int | None,
+        jobs: int = 1,
+        task_timeout: float | None = None,
+        max_retries: int | None = None,
+    ) -> "ShardingOptions | None":
         """Normalise caller-supplied sharding knobs into validated options.
 
         Returns ``None`` when no sharding was requested (``shards is None``,
         ``jobs == 1``) -- the serial path.  Raises
-        :class:`repro.exceptions.OptionsError` when ``jobs`` is given without
-        ``shards``, when the algorithm does not run on the explicit machine
-        substrate (only ``machine``-kind algorithms decompose by the paper's
-        vertex colouring), or when either knob is out of range.
+        :class:`repro.exceptions.OptionsError` when ``jobs``,
+        ``task_timeout`` or ``max_retries`` is given without ``shards``,
+        when the algorithm does not run on the explicit machine substrate
+        (only ``machine``-kind algorithms decompose by the paper's vertex
+        colouring), or when any knob is out of range.  ``max_retries=None``
+        means the :class:`ShardingOptions` default.
         """
         if shards is None:
             if jobs != 1:
@@ -255,13 +284,21 @@ class AlgorithmSpec:
                     f"jobs={jobs!r} requires shards: pass shards=c to choose the "
                     "colour count of the decomposition"
                 )
+            if task_timeout is not None or max_retries is not None:
+                raise OptionsError(
+                    "task_timeout/max_retries tune the sharded execution tier and "
+                    "require shards: pass shards=c to enable sharded execution"
+                )
             return None
         if self.substrate != "machine":
             raise OptionsError(
                 f"algorithm {self.name!r} runs on substrate {self.substrate!r}; "
                 "sharded execution is only defined for 'machine' algorithms"
             )
-        resolved = ShardingOptions(shards=shards, jobs=jobs)
+        knobs: dict[str, Any] = {"shards": shards, "jobs": jobs, "task_timeout": task_timeout}
+        if max_retries is not None:
+            knobs["max_retries"] = max_retries
+        resolved = ShardingOptions(**knobs)
         resolved.validate()
         return resolved
 

@@ -70,7 +70,7 @@ from repro.extmem.stats import IOStats
 from repro.graph.io import edges_to_file
 from repro.hashing.coloring import Coloring, ConstantColoring, RandomColoring
 from repro.hashing.coloring import colors_of as bulk_colors
-from repro.parallel import spawn_map_unordered
+from repro.resilience import supervised_map_unordered
 
 RankedEdge = tuple[int, int]
 ColorTriple = tuple[int, int, int]
@@ -259,18 +259,47 @@ def _decomposition_coloring(num_colors: int, seed: int) -> Coloring:
     return RandomColoring(num_colors, seed=seed)
 
 
-def _collect_outcomes(worker, tasks: Sequence[Any], jobs: int) -> list[ShardOutcome]:
-    """Execute shard tasks and reassemble the outcomes in triple order.
+def _shard_fault_key(_index: int, task: Any) -> str:
+    """The stable fault-injection / backoff key for one shard task."""
+    return f"shard:{task.index}"
+
+
+def _collect_outcomes(
+    worker, tasks: Sequence[Any], sharding: ShardingOptions
+) -> list[ShardOutcome]:
+    """Execute shard tasks under supervision; reassemble in triple order.
 
     Completion order is irrelevant: outcomes are keyed by shard index and
     returned sorted, which is what makes every merge downstream
-    deterministic.  Tasks are shipped in chunks to amortise pool IPC over
-    the many small colour triples.
+    deterministic.  Each task is supervised individually
+    (:func:`repro.resilience.supervised_map_unordered`): a shard whose
+    worker dies or hangs past ``sharding.task_timeout`` is re-executed --
+    bit-identically, since each task is a pure function of its payload --
+    up to ``sharding.max_retries`` times, after which the run fails with a
+    :class:`ShardExecutionError` instead of hanging.  An *algorithmic*
+    error inside a shard (the worker caught an exception and reported it in
+    ``ShardOutcome.error``) is deterministic and fails immediately without
+    retry.
     """
     tasks = list(tasks)
-    chunksize = max(1, len(tasks) // (max(1, jobs) * 4))
     by_index: dict[int, ShardOutcome] = {}
-    for outcome in spawn_map_unordered(worker, tasks, jobs, chunksize=chunksize):
+    supervised = supervised_map_unordered(
+        worker,
+        tasks,
+        sharding.jobs,
+        task_timeout=sharding.task_timeout,
+        max_retries=sharding.max_retries,
+        fault_key=_shard_fault_key,
+    )
+    for item in supervised:
+        if not item.ok:
+            task = tasks[item.index]
+            kinds = ", ".join(item.outcome.failures) or "unknown failure"
+            raise ShardExecutionError(
+                f"shard {task.triple} failed after {item.outcome.attempts} attempts "
+                f"({kinds}):\n{item.outcome.error}"
+            )
+        outcome = item.value
         if outcome.error is not None:
             raise ShardExecutionError(
                 f"shard {outcome.triple} failed in a worker:\n{outcome.error}"
@@ -367,7 +396,7 @@ def _run_triples_sharded(
                     collect=collect,
                 )
             )
-        outcomes = _collect_outcomes(_execute_triple_shard, tasks, sharding.jobs)
+        outcomes = _collect_outcomes(_execute_triple_shard, tasks, sharding)
         sharding_stats.num_shards = len(tasks)
         sharding_stats.shard_edges = sum(
             len(t.pivot) + sum(map(len, t.adjacency)) + sum(map(len, t.spectators))
@@ -535,7 +564,7 @@ def _run_subgraph_sharded(
         )
         for index, (triple, union) in enumerate(_iter_subgraph_shards(classes, sharding.shards))
     ]
-    outcomes = _collect_outcomes(_execute_subgraph_shard, tasks, sharding.jobs)
+    outcomes = _collect_outcomes(_execute_subgraph_shard, tasks, sharding)
 
     stats = IOStats()
     sharding_stats = ShardingStats(

@@ -57,6 +57,18 @@ class OptionsError(AlgorithmError):
     """
 
 
+class StreamWorkerError(ReproError):
+    """Raised at the consuming side of :meth:`TriangleEngine.stream`.
+
+    Wraps an unexpected (non-:class:`ReproError`) exception raised by the
+    streaming run's worker thread, so consumers see one typed error at the
+    point of iteration instead of a silently truncated stream; the original
+    exception is attached as ``__cause__``.  Library errors
+    (:class:`ReproError` subclasses, e.g. an :class:`OptionsError` for an
+    unknown option) re-raise unchanged.
+    """
+
+
 class FastPathUnavailableError(ReproError):
     """Raised when the vectorized fast path is requested but NumPy is absent.
 

@@ -3,28 +3,36 @@
 :class:`ParallelRunner` takes a flat list of :class:`RunSpec` cells --
 produced by the experiment modules' ``specs()`` hooks -- deduplicates them
 by content address, satisfies what it can from the artifact store, and
-executes the rest either serially (``jobs=1``) or across a
-``multiprocessing`` worker pool.  Results are keyed by spec hash in a
-:class:`ResultSet`, which the modules' ``tabulate()`` hooks index by spec to
-re-render their tables.
+executes the rest through the supervised execution tier
+(:func:`repro.resilience.supervised_map_unordered`): serially when
+``jobs=1``, otherwise across a monitored ``multiprocessing`` worker pool
+with per-cell retries, optional task timeouts, and dead-worker detection.
+Results are keyed by spec hash in a :class:`ResultSet`, which the modules'
+``tabulate()`` hooks index by spec to re-render their tables.
+
+Partial results are always persisted: every cell that completes is written
+to the store the moment it finishes, so an interrupted or partially failed
+run resumes from the completed cells.  Cells that fail after exhausting
+their retries leave a failure record in the store, which the next run
+reports ("N cells failed last run, retrying") and clears on success.
 
 Determinism: a spec's payload contains every seed the task needs, and each
 task builds its own workload and simulated machine from scratch, so results
-are bit-identical no matter which process executes a cell or in which order
-cells finish.  The pool uses the ``spawn`` start method for identical
-behaviour across platforms.
+are bit-identical no matter which process executes a cell, in which order
+cells finish, or how many times a cell is retried.  The pool uses the
+``spawn`` start method for identical behaviour across platforms.
 """
 
 from __future__ import annotations
 
-import traceback
+from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.exceptions import ReproError
-from repro.parallel import spawn_map_unordered
 from repro.experiments.specs import RunSpec
 from repro.experiments.store import ResultStore
 from repro.experiments.tasks import execute_spec
+from repro.resilience import BackoffPolicy, TaskOutcome, active_plan, supervised_map_unordered
 
 
 class SpecExecutionError(ReproError):
@@ -40,11 +48,17 @@ class ResultSet:
         errors: dict[str, str] | None = None,
         executed: int = 0,
         cached: int = 0,
+        *,
+        outcomes: dict[str, TaskOutcome] | None = None,
+        retried: int = 0,
     ) -> None:
         self._results = results
         self._errors = errors or {}
+        self._outcomes = outcomes or {}
         self.executed = executed
         self.cached = cached
+        #: Cells that needed more than one attempt before succeeding or failing.
+        self.retried = retried
 
     def __len__(self) -> int:
         return len(self._results)
@@ -71,13 +85,10 @@ class ResultSet:
         """Spec hash -> traceback text for every failed cell."""
         return dict(self._errors)
 
-
-def _execute_for_pool(spec: RunSpec) -> tuple[str, dict[str, Any] | None, str | None]:
-    """Worker entry point: never raises, returns (hash, result, traceback)."""
-    try:
-        return spec.spec_hash, execute_spec(spec), None
-    except Exception:  # noqa: BLE001 - the traceback is the payload
-        return spec.spec_hash, None, traceback.format_exc()
+    @property
+    def outcomes(self) -> dict[str, TaskOutcome]:
+        """Spec hash -> supervision record for every executed cell."""
+        return dict(self._outcomes)
 
 
 def dedupe_specs(specs: Iterable[RunSpec]) -> list[RunSpec]:
@@ -91,20 +102,41 @@ def dedupe_specs(specs: Iterable[RunSpec]) -> list[RunSpec]:
     return unique
 
 
+def _spec_fault_key(_index: int, spec: RunSpec) -> str:
+    """The stable fault-injection / backoff key for an orchestrated cell."""
+    return f"spec:{spec.spec_hash}"
+
+
+def _truncate_artifact(path: Path) -> None:
+    """Apply an injected ``corrupt`` fault: chop the persisted file in half."""
+    raw = path.read_text(encoding="utf-8")
+    path.write_text(raw[: len(raw) // 2], encoding="utf-8")
+
+
 class ParallelRunner:
-    """Execute run specs across a worker pool, resuming from the store."""
+    """Execute run specs under supervision, resuming from the store."""
 
     def __init__(
         self,
         store: ResultStore | None = None,
         jobs: int = 1,
         progress: Callable[[str], None] | None = None,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+        backoff: BackoffPolicy | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {jobs}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {task_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.store = store
         self.jobs = jobs
         self.progress = progress
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
 
     def _report(self, message: str) -> None:
         if self.progress is not None:
@@ -113,9 +145,9 @@ class ParallelRunner:
     def run(self, specs: Sequence[RunSpec]) -> ResultSet:
         """Run every spec (deduplicated), returning a :class:`ResultSet`."""
         unique = dedupe_specs(specs)
-        by_hash = {spec.spec_hash: spec for spec in unique}
         results: dict[str, dict[str, Any]] = {}
         errors: dict[str, str] = {}
+        outcomes: dict[str, TaskOutcome] = {}
 
         pending: list[RunSpec] = []
         for spec in unique:
@@ -128,26 +160,58 @@ class ParallelRunner:
         if cached:
             self._report(f"{cached}/{len(unique)} cells already in the store")
 
-        # spawn_map_unordered falls back to an in-process map when a pool
-        # would be pointless (jobs=1, a single cell) or forbidden (we are
-        # already inside a daemonic pool worker).
-        outcomes = spawn_map_unordered(_execute_for_pool, pending, self.jobs)
+        if self.store is not None:
+            failed_before = sum(
+                1 for spec in pending if self.store.get_failure(spec) is not None
+            )
+            if failed_before:
+                self._report(f"{failed_before} cells failed last run, retrying")
+
+        plan = active_plan()
+        supervised = supervised_map_unordered(
+            execute_spec,
+            pending,
+            self.jobs,
+            task_timeout=self.task_timeout,
+            max_retries=self.max_retries,
+            backoff=self.backoff,
+            fault_key=_spec_fault_key,
+        )
 
         done = 0
-        for spec_hash, result, error in outcomes:
+        retried = 0
+        for item in supervised:
             done += 1
-            if error is not None:
-                errors[spec_hash] = error
-                self._report(
-                    f"[{done}/{len(pending)}] FAILED {by_hash[spec_hash].describe()}"
-                )
+            spec = pending[item.index]
+            outcome = item.outcome
+            outcomes[spec.spec_hash] = outcome
+            if outcome.attempts > 1:
+                retried += 1
+            retry_note = f" (after {outcome.attempts} attempts)" if outcome.attempts > 1 else ""
+            if not outcome.ok:
+                errors[spec.spec_hash] = outcome.error or "cell failed with no recorded error"
+                if self.store is not None:
+                    self.store.put_failure(
+                        spec, errors[spec.spec_hash], attempts=outcome.attempts
+                    )
+                self._report(f"[{done}/{len(pending)}] FAILED {spec.describe()}{retry_note}")
                 continue
-            results[spec_hash] = result
+            results[spec.spec_hash] = item.value
             if self.store is not None:
-                self.store.put(by_hash[spec_hash], result)
-            self._report(f"[{done}/{len(pending)}] {by_hash[spec_hash].describe()}")
+                path = self.store.put(spec, item.value)
+                self.store.clear_failure(spec)
+                if plan is not None and plan.should_corrupt(_spec_fault_key(0, spec)):
+                    _truncate_artifact(path)
+            self._report(f"[{done}/{len(pending)}] {spec.describe()}{retry_note}")
 
-        return ResultSet(results, errors, executed=len(pending) - len(errors), cached=cached)
+        return ResultSet(
+            results,
+            errors,
+            executed=len(pending) - len(errors),
+            cached=cached,
+            outcomes=outcomes,
+            retried=retried,
+        )
 
 
 def execute_specs(specs: Sequence[RunSpec]) -> ResultSet:

@@ -63,23 +63,30 @@ class RunReport:
     total_cells: int = 0
     executed: int = 0
     cached: int = 0
+    failed_cells: int = 0
+    retried_cells: int = 0
     quick: bool = True
     jobs: int = 1
     elapsed_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and self.failed_cells == 0
 
     def render_tables(self) -> str:
         return "\n\n".join(table.render() for table in self.tables)
 
     def footer(self) -> str:
+        extra = ""
+        if self.retried_cells:
+            extra += f", {self.retried_cells} retried"
+        if self.failed_cells:
+            extra += f", {self.failed_cells} FAILED"
         return (
             f"({len(self.tables)} tables in {self.elapsed_seconds:.1f}s, "
             f"quick={self.quick}, jobs={self.jobs}; "
             f"cells: {self.total_cells} total, {self.executed} executed, "
-            f"{self.cached} cached)"
+            f"{self.cached} cached{extra})"
         )
 
     def summary_dict(self) -> dict:
@@ -93,6 +100,8 @@ class RunReport:
                 "total": self.total_cells,
                 "executed": self.executed,
                 "cached": self.cached,
+                "failed": self.failed_cells,
+                "retried": self.retried_cells,
             },
             "experiments": {},
             "tables": [table.to_dict() for table in self.tables],
@@ -109,12 +118,18 @@ def run_experiments(
     jobs: int = 1,
     store: ResultStore | None = None,
     progress=None,
+    task_timeout: float | None = None,
+    max_retries: int = 2,
 ) -> RunReport:
     """Orchestrate the selected experiments (all by default).
 
     A failing experiment is recorded in ``report.failures`` instead of
     aborting the suite; cells belonging only to failed experiments are
-    simply not tabulated.
+    simply not tabulated.  Cell execution runs through the supervised tier:
+    a cell whose worker dies, hangs past ``task_timeout``, or raises is
+    retried up to ``max_retries`` times, and a cell that still fails is
+    reported (``report.failed_cells``, a failure record in the store)
+    without aborting its siblings -- every completed cell is persisted.
     """
     started = time.perf_counter()
     selected = list(experiment_ids) if experiment_ids else list(EXPERIMENTS)
@@ -134,10 +149,18 @@ def run_experiments(
 
     flat = [spec for specs in spec_lists.values() for spec in specs]
     report.total_cells = len(dedupe_specs(flat))
-    runner = ParallelRunner(store=store, jobs=jobs, progress=progress)
+    runner = ParallelRunner(
+        store=store,
+        jobs=jobs,
+        progress=progress,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+    )
     results = runner.run(flat)
     report.executed = results.executed
     report.cached = results.cached
+    report.failed_cells = len(results.errors)
+    report.retried_cells = results.retried
 
     for experiment_id, module in modules.items():
         if experiment_id not in spec_lists:
@@ -198,6 +221,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="worker processes for independent cells (default 1 = serial)",
     )
     parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry a cell whose worker runs longer than this "
+        "(default: no timeout; only enforced with --jobs > 1)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per cell for crashed, hung or failing workers (default 2)",
+    )
+    parser.add_argument(
         "--results-dir",
         default=DEFAULT_RESULTS_DIR,
         help=f"artifact store directory (default {DEFAULT_RESULTS_DIR!r})",
@@ -225,6 +263,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     arguments = parser.parse_args(argv)
     if arguments.jobs < 1:
         parser.error(f"--jobs must be at least 1, got {arguments.jobs}")
+    if arguments.task_timeout is not None and arguments.task_timeout <= 0:
+        parser.error(f"--task-timeout must be positive, got {arguments.task_timeout}")
+    if arguments.max_retries < 0:
+        parser.error(f"--max-retries must be >= 0, got {arguments.max_retries}")
 
     store = None if arguments.no_store else ResultStore(arguments.results_dir)
     progress = (lambda message: print(message, file=sys.stderr)) if arguments.verbose else None
@@ -236,6 +278,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             jobs=arguments.jobs,
             store=store,
             progress=progress,
+            task_timeout=arguments.task_timeout,
+            max_retries=arguments.max_retries,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -256,6 +300,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(
             f"error: experiment {failure.experiment_id} failed during {failure.stage}:\n"
             f"{failure.error}",
+            file=sys.stderr,
+        )
+    if report.failed_cells:
+        print(
+            f"error: {report.failed_cells} cells failed after retries; "
+            "failure records persisted -- a re-run retries only those cells",
             file=sys.stderr,
         )
     return 0 if report.ok else 1

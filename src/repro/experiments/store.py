@@ -21,12 +21,22 @@ Artifact schema (``repro-run/v1``)::
 
 Artifacts are written atomically (temp file + rename) and validated on
 read: a corrupt, truncated or mismatching artifact is treated as a cache
-miss, never as an error.
+miss, never as an error.  An artifact that is not even valid JSON is
+additionally *quarantined* -- moved aside to ``<spec_hash>.json.corrupt``
+with a logged warning -- so the damaged bytes are preserved for inspection
+while the cell cleanly re-executes on the next run.
+
+The store also keeps *failure records* (``<spec_hash>.failed``, schema
+``repro-failure/v1``) for cells whose execution failed after exhausting
+retries, so the next ``run_all`` can report how many cells it is retrying
+and a success can clear the record.  The ``.failed`` suffix keeps them out
+of the ``*.json`` artifact glob.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Any
@@ -34,6 +44,9 @@ from typing import Any
 from repro.experiments.specs import RunSpec
 
 ARTIFACT_SCHEMA = "repro-run/v1"
+FAILURE_SCHEMA = "repro-failure/v1"
+
+logger = logging.getLogger(__name__)
 
 #: Default artifact directory, relative to the current working directory.
 DEFAULT_RESULTS_DIR = "results"
@@ -84,11 +97,21 @@ class ResultStore:
         return self.get(spec) is not None
 
     def get(self, spec: RunSpec) -> dict[str, Any] | None:
-        """The stored result for ``spec``, or ``None`` on any kind of miss."""
+        """The stored result for ``spec``, or ``None`` on any kind of miss.
+
+        A file that is not valid JSON (truncated write, disk corruption) is
+        quarantined to ``<name>.corrupt`` with a logged warning; the cell
+        then re-executes cleanly instead of the resume path raising.
+        """
         path = self.path_for(spec)
         try:
-            artifact = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            artifact = json.loads(text)
+        except ValueError:
+            self._quarantine(path)
             return None
         if not isinstance(artifact, dict):
             return None
@@ -110,8 +133,55 @@ class ResultStore:
         }
         return atomic_write_json(self.path_for(spec), artifact)
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt artifact aside to ``<name>.corrupt``."""
+        quarantined = path.with_name(f"{path.name}.corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            return
+        logger.warning(
+            "quarantined corrupt artifact %s -> %s; the cell will re-execute",
+            path,
+            quarantined.name,
+        )
+
     def artifact_paths(self) -> list[Path]:
         """All artifact files currently in the store (sorted for stability)."""
         if not self.root.is_dir():
             return []
         return sorted(self.root.glob("*.json"))
+
+    # -- failure records ------------------------------------------------
+
+    def failure_path_for(self, spec: RunSpec) -> Path:
+        """Where the failure record for ``spec`` lives (if any)."""
+        return self.root / f"{spec.spec_hash}.failed"
+
+    def put_failure(self, spec: RunSpec, error: str, attempts: int = 1) -> Path:
+        """Persist a small failure record so the next run can report it."""
+        record = {
+            "schema": FAILURE_SCHEMA,
+            "spec_hash": spec.spec_hash,
+            "task": spec.task,
+            "attempts": attempts,
+            "error": error,
+        }
+        return atomic_write_json(self.failure_path_for(spec), record)
+
+    def get_failure(self, spec: RunSpec) -> dict[str, Any] | None:
+        """The failure record for ``spec``, or ``None``."""
+        path = self.failure_path_for(spec)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("schema") != FAILURE_SCHEMA:
+            return None
+        if record.get("spec_hash") != spec.spec_hash:
+            return None
+        return record
+
+    def clear_failure(self, spec: RunSpec) -> None:
+        """Drop the failure record for ``spec`` (after a later success)."""
+        self.failure_path_for(spec).unlink(missing_ok=True)

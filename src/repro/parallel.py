@@ -4,10 +4,15 @@ One helper: :func:`spawn_map_unordered`, a thin wrapper over a
 ``multiprocessing`` *spawn* pool that degrades gracefully to in-process
 ``map`` whenever a pool would be useless (one job, one item) or illegal
 (the caller is itself a daemonic pool worker, which may not spawn
-children).  Both :class:`repro.experiments.parallel.ParallelRunner` and
-:mod:`repro.core.sharding` fan their independent work units through it,
-so the start-method choice (``spawn``, for identical behaviour across
-platforms) lives in exactly one place.
+children).  The start-method choice (``spawn``, for identical behaviour
+across platforms) lives in exactly one place: here.
+
+This is the *unsupervised* primitive -- results stream straight off
+``imap_unordered`` with no timeouts or retries.  The orchestrator and the
+sharded engine instead run through the fault-tolerant tier built on top of
+it, :func:`repro.resilience.supervised_map_unordered`, which adds per-task
+supervision (worker-death detection, task timeouts, deterministic retries)
+around the same spawn-pool contract.
 """
 
 from __future__ import annotations
@@ -53,5 +58,13 @@ def spawn_map_unordered(
         yield from map(function, items)
         return
     context = multiprocessing.get_context("spawn")
-    with context.Pool(processes=effective_jobs(jobs, len(items))) as pool:
+    pool = context.Pool(processes=effective_jobs(jobs, len(items)))
+    try:
         yield from pool.imap_unordered(function, items, chunksize)
+    finally:
+        # A consumer abandoning the iterator mid-stream (generator close,
+        # early break, an exception in the consuming loop) must not leave
+        # pool teardown to the garbage collector: terminate outstanding
+        # workers and reap them before control returns.
+        pool.terminate()
+        pool.join()

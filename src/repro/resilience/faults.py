@@ -1,0 +1,253 @@
+"""Deterministic fault injection for the supervised execution tier.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule` entries, each injecting
+one failure mode -- ``crash`` (the worker process dies with a non-zero exit
+code), ``hang`` (the attempt sleeps far past any sane task timeout),
+``exception`` (a :class:`FaultInjected` is raised inside the attempt) or
+``corrupt`` (the stored artifact is truncated after a successful run) -- into
+the tasks whose *fault key* matches the rule.  Fault keys are small strings
+the supervisor derives from the work unit (``spec:<hash>`` for orchestrated
+experiment cells, ``shard:<index>`` for colour shards), so a plan can target
+one exact cell or sample a deterministic fraction of all of them.
+
+Everything is deterministic and wall-clock-free: whether a rule selects a
+key is a pure function of ``(seed, key, rate)`` (a SHA-256 coin flip), and
+rules gate on the *attempt number*, so the canonical "kill 20% of cells on
+their first attempt" plan injects the identical faults on every machine and
+every re-run.  Because the injected failures are retried by the supervisor
+and every task is a pure function of its payload, a faulted run produces
+results bit-identical to the fault-free run -- which is exactly the property
+the fault-injection CI leg asserts.
+
+Plans cross the ``multiprocessing`` *spawn* boundary through the
+:data:`FAULT_PLAN_ENV` environment variable (inline JSON, or a path to a
+JSON file), which child interpreters inherit; :meth:`FaultPlan.activate`
+sets and restores it around a block of code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.exceptions import ReproError
+
+#: Environment variable carrying the active plan across the spawn boundary.
+#: Holds inline JSON (first non-space character ``{`` or ``[``) or the path
+#: of a JSON file.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: The injectable failure modes.
+FAULT_KINDS = ("crash", "hang", "exception", "corrupt")
+
+#: Kinds injected *inside* a task attempt (``corrupt`` instead fires in the
+#: orchestrator, after the artifact has been persisted).
+ATTEMPT_KINDS = ("crash", "hang", "exception")
+
+
+class FaultInjected(ReproError):
+    """Raised by an ``exception`` fault (or an in-process crash/hang fault)."""
+
+
+class FaultPlanError(ReproError):
+    """Raised when a fault plan cannot be parsed or validated."""
+
+
+def _selected(key: str, seed: int, rate: float) -> bool:
+    """Deterministic coin flip: does ``rate`` sampling select ``key``?
+
+    A pure function of ``(seed, key)`` -- no wall-clock randomness -- so the
+    same plan selects the same keys in every process and on every re-run.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    digest = hashlib.sha256(f"{seed}:{key}".encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:8], "big") / 2**64
+    return fraction < rate
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injected failure mode, targeted by key pattern and attempt number.
+
+    ``match`` is an ``fnmatch`` pattern over fault keys; ``rate`` samples a
+    deterministic fraction of the matched keys (seeded by ``seed``, so
+    independent rules sample independent subsets); ``attempts`` lists the
+    attempt numbers the fault fires on (``None`` means every attempt -- a
+    *permanent* fault that retries cannot outlast).
+    """
+
+    kind: str
+    match: str = "*"
+    rate: float = 1.0
+    attempts: tuple[int, ...] | None = (0,)
+    exit_code: int = 1
+    hang_seconds: float = 3600.0
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of {', '.join(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultPlanError(f"fault rate must be in [0, 1], got {self.rate!r}")
+        if self.hang_seconds < 0:
+            raise FaultPlanError(f"hang_seconds must be >= 0, got {self.hang_seconds!r}")
+
+    def applies(self, key: str, attempt: int) -> bool:
+        """Does this rule fire for ``key`` on attempt number ``attempt``?"""
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        if not fnmatchcase(key, self.match):
+            return False
+        return _selected(key, self.seed, self.rate)
+
+    def to_mapping(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"kind": self.kind, "match": self.match, "rate": self.rate}
+        payload["attempts"] = list(self.attempts) if self.attempts is not None else None
+        payload["exit_code"] = self.exit_code
+        payload["hang_seconds"] = self.hang_seconds
+        payload["seed"] = self.seed
+        return payload
+
+    @classmethod
+    def from_mapping(cls, payload: Any) -> "FaultRule":
+        if not isinstance(payload, dict):
+            raise FaultPlanError(f"fault rule must be an object, got {payload!r}")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise FaultPlanError(f"unknown fault rule field(s): {', '.join(unknown)}")
+        if "kind" not in payload:
+            raise FaultPlanError("fault rule is missing its 'kind'")
+        attempts = payload.get("attempts", (0,))
+        if attempts is not None:
+            attempts = tuple(int(a) for a in attempts)
+        rule = cls(
+            kind=payload["kind"],
+            match=payload.get("match", "*"),
+            rate=float(payload.get("rate", 1.0)),
+            attempts=attempts,
+            exit_code=int(payload.get("exit_code", 1)),
+            hang_seconds=float(payload.get("hang_seconds", 3600.0)),
+            seed=int(payload.get("seed", 0)),
+        )
+        rule.validate()
+        return rule
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered list of fault rules; the first matching rule wins."""
+
+    rules: tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    def rule_for(
+        self, key: str, attempt: int, kinds: tuple[str, ...] = ATTEMPT_KINDS
+    ) -> FaultRule | None:
+        """The first rule of an eligible kind that fires for ``(key, attempt)``."""
+        for rule in self.rules:
+            if rule.kind in kinds and rule.applies(key, attempt):
+                return rule
+        return None
+
+    def fire(self, key: str, attempt: int, in_process: bool = False) -> None:
+        """Inject the first matching attempt fault, if any.
+
+        ``crash`` kills the calling process with the rule's exit code and
+        ``hang`` sleeps for ``hang_seconds`` (then continues normally -- the
+        supervisor's task timeout is what turns the sleep into a failure).
+        With ``in_process=True`` (serial, pool-less execution) both degrade
+        to a raised :class:`FaultInjected` so an injected fault can never
+        kill or hang the coordinating process itself.
+        """
+        rule = self.rule_for(key, attempt)
+        if rule is None:
+            return
+        if rule.kind == "exception" or in_process:
+            raise FaultInjected(
+                f"injected {rule.kind!r} fault for {key!r} on attempt {attempt}"
+                + (" (in-process: simulated as an exception)" if rule.kind != "exception" else "")
+            )
+        if rule.kind == "crash":
+            os._exit(rule.exit_code)
+        if rule.kind == "hang":
+            time.sleep(rule.hang_seconds)
+
+    def should_corrupt(self, key: str) -> bool:
+        """Does a ``corrupt`` rule select ``key``? (Checked post-persist.)"""
+        return self.rule_for(key, 0, kinds=("corrupt",)) is not None
+
+    def to_json(self) -> str:
+        return json.dumps({"rules": [rule.to_mapping() for rule in self.rules]}, sort_keys=True)
+
+    @classmethod
+    def from_mapping(cls, payload: Any) -> "FaultPlan":
+        if isinstance(payload, list):
+            payload = {"rules": payload}
+        if not isinstance(payload, dict) or not isinstance(payload.get("rules"), list):
+            raise FaultPlanError(
+                "fault plan must be a JSON object with a 'rules' list (or a bare list of rules)"
+            )
+        return cls(rules=tuple(FaultRule.from_mapping(rule) for rule in payload["rules"]))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise FaultPlanError(f"fault plan is not valid JSON: {error}") from error
+        return cls.from_mapping(payload)
+
+    @contextmanager
+    def activate(self) -> Iterator["FaultPlan"]:
+        """Set :data:`FAULT_PLAN_ENV` to this plan for the enclosed block.
+
+        Environment variables are inherited by ``spawn`` children, so the
+        plan is live in every worker the supervisor starts while the block
+        is active.  The previous value is restored on exit.
+        """
+        previous = os.environ.get(FAULT_PLAN_ENV)
+        os.environ[FAULT_PLAN_ENV] = self.to_json()
+        try:
+            yield self
+        finally:
+            if previous is None:
+                os.environ.pop(FAULT_PLAN_ENV, None)
+            else:
+                os.environ[FAULT_PLAN_ENV] = previous
+
+
+#: Per-process parse cache: (raw env value, parsed plan).
+_CACHE: tuple[str | None, FaultPlan | None] = (None, None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan named by :data:`FAULT_PLAN_ENV`, or ``None``.
+
+    Inline JSON is recognised by its first non-space character; anything
+    else is treated as the path of a JSON file.  The parse is cached per
+    process keyed on the raw value, so the per-attempt lookup is one
+    ``os.environ`` read.
+    """
+    global _CACHE
+    raw = os.environ.get(FAULT_PLAN_ENV)
+    if not raw:
+        return None
+    cached_raw, cached_plan = _CACHE
+    if raw == cached_raw:
+        return cached_plan
+    text = raw if raw.lstrip()[:1] in ("{", "[") else Path(raw).read_text(encoding="utf-8")
+    plan = FaultPlan.from_json(text)
+    _CACHE = (raw, plan)
+    return plan
