@@ -259,37 +259,45 @@ def bench_shard_scaling(num_edges: int, repeats: int, shards: int, jobs: int) ->
     """Serial vs colour-sharded cache-aware run (same colouring, same counters).
 
     The serial leg runs ``cache_aware`` with ``num_colors=shards`` (the
-    identical algorithm instance); the sharded leg distributes its colour
-    triples over ``jobs`` spawn workers.  Aggregated simulated counters are
+    identical algorithm instance); the sharded legs distribute its colour
+    triples over ``jobs`` workers.  Aggregated simulated counters are
     bit-identical by construction (``counters_match_serial`` asserts it), so
     only wall-clock moves.  The machine is the paper's regime of interest
     (``E >> M``: M=512, B=16, as in the substrate sort bench), where the
     triple-enumeration phase dominates the run.
 
-    Three legs per repetition: serial, sharded ``jobs=1`` (clean,
-    uncontended per-shard wall times plus the counter-parity check) and
-    sharded ``jobs=N`` (the measured pool run).  ``speedup_vs_serial`` is
-    the *measured* jobs=N ratio on this host; a single-core container (see
+    Four legs, best time kept: serial; sharded ``jobs=1`` (clean,
+    uncontended per-shard wall times plus the counter-parity check);
+    sharded ``jobs=N`` on a fresh spawn pool per run (``spawn_seconds``,
+    the PR 4 execution tier); and sharded ``jobs=N`` on the *persistent*
+    pool (``wall_seconds``, the headline leg) -- one untimed warm-up run
+    pays worker startup and publishes the graph segment, then every timed
+    repetition rides the warm workers and the deduplicated shared-memory
+    segment.  ``speedup_vs_serial`` is the measured persistent ratio on
+    this host, the number the CI shard-scaling job gates
+    (``--gate-shard-speedup``).  A single-core container (see
     ``cpu_cores``) cannot beat serial with process parallelism, so
     ``projected_speedup`` gives a multi-core estimate built entirely from
     single-core measurements: serial time divided by (the serial remainder
     outside the triples phase + the ``jobs``-worker LPT makespan of the
-    jobs=1 per-shard times + the measured startup of a *single* spawn
-    worker).  Worker startup is charged once, not ``jobs`` times: on a
-    host with ``jobs`` cores the interpreters boot concurrently, which is
-    exactly the serialisation artefact a 1-core host cannot exhibit (the
-    full serialised cost is still reported as ``pool_spawn_seconds``).
+    jobs=1 per-shard times).  No startup term: the warm pool has already
+    paid it (``worker_startup_seconds`` and the full serialised
+    ``pool_spawn_seconds`` are still reported for the spawn leg).
     """
     graph = erdos_renyi_gnm(max(64, num_edges * 3 // 10), num_edges, seed=7)
     params = MachineParams(512, 16)
     engine = TriangleEngine(graph, params=params)
     serial_times: list[float] = []
     inline_times: list[float] = []
-    pooled_times: list[float] = []
+    spawn_times: list[float] = []
+    warm_times: list[float] = []
     io = {"reads": 0, "writes": 0, "operations": 0}
     triangles = 0
     counters_match = True
     shard_seconds: list[float] = []
+    # Untimed warm-up: boots the persistent workers and publishes the edge
+    # segment, so the timed persistent runs measure steady state.
+    engine.run("cache_aware", seed=0, shards=shards, jobs=jobs, pool="persistent")
     for _ in range(repeats):
         started = time.perf_counter()
         serial = engine.run("cache_aware", seed=0, options={"num_colors": shards})
@@ -300,36 +308,46 @@ def bench_shard_scaling(num_edges: int, repeats: int, shards: int, jobs: int) ->
         inline_wall = time.perf_counter() - started
 
         started = time.perf_counter()
-        pooled = engine.run("cache_aware", seed=0, shards=shards, jobs=jobs)
-        pooled_times.append(time.perf_counter() - started)
+        spawned = engine.run("cache_aware", seed=0, shards=shards, jobs=jobs, pool="spawn")
+        spawn_times.append(time.perf_counter() - started)
 
-        counters_match = counters_match and serial.io == inline.io == pooled.io
+        started = time.perf_counter()
+        warm = engine.run("cache_aware", seed=0, shards=shards, jobs=jobs, pool="persistent")
+        warm_times.append(time.perf_counter() - started)
+
+        counters_match = counters_match and serial.io == inline.io == spawned.io == warm.io
         io = {
-            "reads": pooled.io.reads,
-            "writes": pooled.io.writes,
-            "operations": pooled.io.operations,
+            "reads": warm.io.reads,
+            "writes": warm.io.writes,
+            "operations": warm.io.operations,
         }
-        triangles = pooled.triangle_count
+        triangles = warm.triangle_count
         # Keep the shard timings of the *best* inline repetition, matching
         # the best-time-kept convention of every benchmark in this file.
         if not inline_times or inline_wall < min(inline_times):
             shard_seconds = list(inline.sharding.shard_seconds)
         inline_times.append(inline_wall)
-    serial_best, pooled_best = min(serial_times), min(pooled_times)
+    engine.close()  # unlink the published segments before the next benchmark
+    serial_best, warm_best = min(serial_times), min(warm_times)
+    spawn_best = min(spawn_times)
     pool_spawn = min(_pool_spawn_seconds(jobs) for _ in range(repeats))
     worker_startup = min(_pool_spawn_seconds(1) for _ in range(repeats))
     serial_remainder = max(serial_best - sum(shard_seconds), 0.0)
-    projected_wall = serial_remainder + worker_startup + _lpt_makespan(shard_seconds, jobs)
+    projected_wall = serial_remainder + _lpt_makespan(shard_seconds, jobs)
     return {
         "edges": num_edges,
         "shards": shards,
         "jobs": jobs,
         "cpu_cores": _available_cores(),
         "machine": {"M": params.memory_words, "B": params.block_words},
-        "wall_seconds": pooled_best,
+        "wall_seconds": warm_best,
         "serial_seconds": serial_best,
         "sharded_inline_seconds": min(inline_times),
-        "speedup_vs_serial": round(serial_best / pooled_best, 2) if pooled_best > 0 else None,
+        "spawn_seconds": spawn_best,
+        "speedup_vs_serial": round(serial_best / warm_best, 2) if warm_best > 0 else None,
+        "spawn_speedup_vs_serial": (
+            round(serial_best / spawn_best, 2) if spawn_best > 0 else None
+        ),
         "projected_speedup": round(serial_best / projected_wall, 2) if projected_wall > 0 else None,
         "pool_spawn_seconds": round(pool_spawn, 3),
         "worker_startup_seconds": round(worker_startup, 3),
@@ -479,6 +497,15 @@ def main(argv: list[str] | None = None) -> int:
         "(e.g. --only fastpath); --pin-golden merges rather than replaces, "
         "so a filtered pin never drops other benchmarks' golden counters",
     )
+    parser.add_argument(
+        "--gate-shard-speedup",
+        type=float,
+        metavar="X",
+        help="exit non-zero unless the shard-scaling benchmark's measured "
+        "persistent-pool speedup_vs_serial is at least X (the CI "
+        "shard-scaling job gates 1.3 on a 4-core runner); the results "
+        "file is still written first so the artifact records the miss",
+    )
     args = parser.parse_args(argv)
     if args.check and args.pin_golden:
         parser.error("--check and --pin-golden are mutually exclusive; pin first, then check")
@@ -548,7 +575,40 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[{'golden:' + mode if args.pin_golden else args.label}] wrote {args.output}")
     for name, entry in data.get("speedup", {}).items():
         print(f"  speedup {name}: {entry['speedup']}x")
+
+    if args.gate_shard_speedup is not None:
+        return _gate_shard_speedup(benchmarks, args.gate_shard_speedup)
     return 0
+
+
+def _gate_shard_speedup(benchmarks: dict[str, dict], floor: float) -> int:
+    """CI gate: the measured persistent-pool shard speedup must clear ``floor``."""
+    scaling = {n: r for n, r in benchmarks.items() if n.startswith("shard_scaling")}
+    if not scaling:
+        print(
+            "GATE --gate-shard-speedup given but no shard_scaling benchmark ran "
+            "(check --only)",
+            file=sys.stderr,
+        )
+        return 1
+    status = 0
+    for name, result in scaling.items():
+        speedup = result.get("speedup_vs_serial")
+        if not result.get("counters_match_serial"):
+            print(f"GATE {name}: sharded counters diverged from serial", file=sys.stderr)
+            status = 1
+        elif speedup is None or speedup < floor:
+            print(
+                f"GATE {name}: persistent-pool speedup {speedup}x is below the "
+                f"{floor}x floor (serial {result['serial_seconds']:.3f}s, "
+                f"persistent {result['wall_seconds']:.3f}s, "
+                f"{result['cpu_cores']} cores)",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(f"GATE {name}: {speedup}x >= {floor}x ({result['cpu_cores']} cores)")
+    return status
 
 
 if __name__ == "__main__":

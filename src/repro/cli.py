@@ -54,6 +54,7 @@ from repro.graph.generators import (
     random_bipartite,
 )
 from repro.graph.metrics import clustering_coefficients, transitivity, triangle_statistics
+from repro.poolexec import POOL_MODES
 
 
 def _default_compare_algorithms() -> list[str]:
@@ -178,6 +179,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="retries per shard for crashed, hung or failing workers "
         "(requires sharded execution; default 2)",
     )
+    compare_parser.add_argument(
+        "--pool",
+        choices=POOL_MODES,
+        default=None,
+        help="worker-pool strategy for --jobs > 1: 'persistent' reuses one "
+        "warm process-wide pool across the sweep's runs, 'spawn' starts a "
+        "fresh pool per run (requires sharded execution; default persistent)",
+    )
     _add_machine_arguments(compare_parser)
 
     algorithms_parser = subparsers.add_parser(
@@ -287,9 +296,13 @@ def _command_compare(arguments: argparse.Namespace) -> int:
     shards = arguments.shards
     if shards is None and arguments.jobs > 1:
         shards = arguments.jobs
-    if shards is None and (arguments.task_timeout is not None or arguments.max_retries is not None):
+    if shards is None and (
+        arguments.task_timeout is not None
+        or arguments.max_retries is not None
+        or arguments.pool is not None
+    ):
         raise SystemExit(
-            "error: --task-timeout/--max-retries tune sharded execution; "
+            "error: --task-timeout/--max-retries/--pool tune sharded execution; "
             "pass --shards C (or --jobs N) to enable it"
         )
     # One engine: the graph is canonicalised once and shared by every run.
@@ -312,6 +325,7 @@ def _command_compare(arguments: argparse.Namespace) -> int:
             jobs=arguments.jobs if shardable else 1,
             task_timeout=arguments.task_timeout if shardable else None,
             max_retries=arguments.max_retries if shardable else None,
+            pool=arguments.pool if shardable else None,
         )
         suffix = "" if shardable or shards is None else "  (serial: not a machine algorithm)"
         print(

@@ -93,6 +93,7 @@ def _run_cache_aware(context: SubstrateContext, sink: Any, options: CacheAwareOp
         seed=context.seed,
         num_colors=options.num_colors,
         triples_executor=context.triples_executor,
+        high_degree_executor=context.high_degree_executor,
     )
 
 
@@ -104,6 +105,7 @@ def _run_cache_aware(context: SubstrateContext, sink: Any, options: CacheAwareOp
     substrate="machine",
     accepts_seed=False,
     options=DeterministicOptions,
+    sharding="triples",
 )
 def _run_deterministic(context: SubstrateContext, sink: Any, options: DeterministicOptions) -> Any:
     return deterministic_cache_aware(
@@ -112,6 +114,8 @@ def _run_deterministic(context: SubstrateContext, sink: Any, options: Determinis
         sink,
         num_colors=options.num_colors,
         max_family_size=options.max_family_size,
+        triples_executor=context.triples_executor,
+        high_degree_executor=context.high_degree_executor,
     )
 
 

@@ -121,22 +121,30 @@ def high_degree_phase(
     edge_file: ExtFile,
     sink: TriangleSink,
     threshold: float,
+    vertex_executor: "VertexExecutor | None" = None,
 ) -> tuple[list[int], ExtFile, int]:
     """Enumerate triangles with a high-degree vertex and build ``E_l``.
 
     Returns ``(high_degree_vertices, low_degree_edge_file, triangles_emitted)``.
     Processing the high-degree vertices one at a time while excluding the
     previously processed ones guarantees that a triangle containing two or
-    three high-degree vertices is emitted exactly once.
+    three high-degree vertices is emitted exactly once.  ``vertex_executor``
+    optionally replaces the serial per-vertex loop (the sharded engine
+    distributes the independent per-vertex Lemma 1 subproblems through it);
+    it must deliver exactly the triangles and charge exactly the I/Os the
+    serial loop would.
     """
     high_vertices = find_high_degree_vertices(machine, edge_file, threshold)
     emitted = 0
-    processed: set[int] = set()
-    for vertex in high_vertices:
-        emitted += triangles_through_vertex(
-            machine, [edge_file], vertex, sink, excluded=frozenset(processed)
-        )
-        processed.add(vertex)
+    if high_vertices and vertex_executor is not None:
+        emitted = vertex_executor(machine, edge_file, sink, high_vertices)
+    else:
+        processed: set[int] = set()
+        for vertex in high_vertices:
+            emitted += triangles_through_vertex(
+                machine, [edge_file], vertex, sink, excluded=frozenset(processed)
+            )
+            processed.add(vertex)
 
     if not high_vertices:
         # E_l is simply the input; copy it so callers can delete it freely
@@ -292,6 +300,10 @@ def enumerate_colored_triples(
 #: return value as :func:`enumerate_colored_triples`.
 TriplesExecutor = Callable[[Machine, dict[ColorPair, FileSlice], Coloring, TriangleSink], int]
 
+#: Drop-in replacement for the serial per-vertex Lemma 1 loop of the
+#: high-degree phase: ``(machine, edge_file, sink, high_vertices) -> emitted``.
+VertexExecutor = Callable[[Machine, ExtFile, TriangleSink, list[int]], int]
+
 
 def cache_aware_randomized(
     machine: Machine,
@@ -300,6 +312,7 @@ def cache_aware_randomized(
     seed: int | None = 0,
     num_colors: int | None = None,
     triples_executor: TriplesExecutor | None = None,
+    high_degree_executor: "VertexExecutor | None" = None,
 ) -> CacheAwareReport:
     """Run the randomized cache-aware algorithm of Section 2.
 
@@ -319,6 +332,9 @@ def cache_aware_randomized(
         distributes the independent colour-triple subproblems over worker
         processes through this hook); it must deliver exactly the triangles
         and charge exactly the I/Os :func:`enumerate_colored_triples` would.
+    high_degree_executor:
+        Optional replacement for the serial per-vertex loop of the
+        high-degree phase, under the same bit-identical contract.
 
     Returns a :class:`CacheAwareReport`; triangles are delivered to ``sink``.
     """
@@ -330,7 +346,7 @@ def cache_aware_randomized(
     threshold = high_degree_threshold(num_edges, machine.memory_size)
     with machine.phase("high-degree"):
         high_vertices, low_edges, high_triangles = high_degree_phase(
-            machine, edge_file, sink, threshold
+            machine, edge_file, sink, threshold, vertex_executor=high_degree_executor
         )
     report.high_degree_vertices = high_vertices
     report.high_degree_triangles = high_triangles

@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 from repro.analysis.bounds import colour_count, high_degree_threshold
 from repro.core.cache_aware import (
     CacheAwareReport,
+    TriplesExecutor,
+    VertexExecutor,
     enumerate_colored_triples,
     high_degree_phase,
     partition_by_coloring,
@@ -212,8 +214,18 @@ def deterministic_cache_aware(
     sink: TriangleSink,
     num_colors: int | None = None,
     max_family_size: int = 256,
+    triples_executor: "TriplesExecutor | None" = None,
+    high_degree_executor: "VertexExecutor | None" = None,
 ) -> DerandomizedReport:
-    """Run the deterministic cache-aware algorithm of Section 4 (Theorem 2)."""
+    """Run the deterministic cache-aware algorithm of Section 4 (Theorem 2).
+
+    ``triples_executor`` and ``high_degree_executor`` are the sharded
+    engine's hooks into the colour-triple and high-degree phases, with the
+    same bit-identical contract as on
+    :func:`repro.core.cache_aware.cache_aware_randomized`; the greedy
+    colouring itself always runs in the coordinating process (it is one
+    inherently sequential scan per level, not a parallel phase).
+    """
     num_edges = len(edge_file)
     report = DerandomizedReport(num_edges=num_edges, num_colors=1)
     if num_edges == 0:
@@ -222,7 +234,7 @@ def deterministic_cache_aware(
     threshold = high_degree_threshold(num_edges, machine.memory_size)
     with machine.phase("high-degree"):
         high_vertices, low_edges, high_triangles = high_degree_phase(
-            machine, edge_file, sink, threshold
+            machine, edge_file, sink, threshold, vertex_executor=high_degree_executor
         )
     report.high_degree_vertices = high_vertices
     report.high_degree_triangles = high_triangles
@@ -253,7 +265,8 @@ def deterministic_cache_aware(
     report.partition_sizes = sizes
     low_edges.delete()
 
+    run_triples = triples_executor if triples_executor is not None else enumerate_colored_triples
     with machine.phase("triples"):
-        report.low_degree_triangles = enumerate_colored_triples(machine, slices, coloring, sink)
+        report.low_degree_triangles = run_triples(machine, slices, coloring, sink)
     partitioned.delete()
     return report

@@ -315,6 +315,7 @@ class TriangleEngine:
         jobs: int = 1,
         task_timeout: float | None = None,
         max_retries: int | None = None,
+        pool: str | None = None,
         options: AlgorithmOptions | Mapping[str, Any] | None = None,
         **option_kwargs: Any,
     ) -> RunResult:
@@ -337,12 +338,15 @@ class TriangleEngine:
         Only ``machine``-kind algorithms accept it
         (:class:`~repro.exceptions.OptionsError` otherwise).  ``task_timeout``
         and ``max_retries`` tune the supervision of those shard workers (a
-        dead or hung worker's shard is retried, bit-identically); they
-        require ``shards``.
+        dead or hung worker's shard is retried, bit-identically);
+        ``pool="persistent"|"spawn"`` selects the worker-pool strategy
+        (default persistent: the warm process-wide pool plus shared-memory
+        edge segments, see :mod:`repro.poolexec`).  All of them require
+        ``shards``.
         """
         spec = get_algorithm(algorithm)
         resolved = spec.resolve_options(options, option_kwargs)
-        sharding = spec.resolve_sharding(shards, jobs, task_timeout, max_retries)
+        sharding = spec.resolve_sharding(shards, jobs, task_timeout, max_retries, pool)
         run_params = params or self.default_params or MachineParams.default()
 
         collector = _LabelCollector() if collect else None
@@ -446,6 +450,7 @@ class TriangleEngine:
             seed,
             sharding,
             collect=inner is not None,
+            cache=self._substrate_cache,
         )
         if inner is not None:
             # Workers ship ranked triangles; replay them through the usual
@@ -483,6 +488,7 @@ class TriangleEngine:
         jobs: int = 1,
         task_timeout: float | None = None,
         max_retries: int | None = None,
+        pool: str | None = None,
         options: AlgorithmOptions | Mapping[str, Any] | None = None,
         **option_kwargs: Any,
     ) -> int:
@@ -496,6 +502,7 @@ class TriangleEngine:
             jobs=jobs,
             task_timeout=task_timeout,
             max_retries=max_retries,
+            pool=pool,
             options=options,
             **option_kwargs,
         )
@@ -588,6 +595,33 @@ class TriangleEngine:
                 except queue_module.Empty:
                     pass
                 worker.join(timeout=0.05)
+
+    # ------------------------------------------------------------------
+    # resource lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release run-to-run substrate state held by this engine.
+
+        Sharded runs park their published shared-memory segments in the
+        substrate cache so repeated runs re-transfer nothing; closing the
+        engine unlinks them (idempotently) and drops every ``poolexec:``
+        cache entry.  Plain derived representations (e.g. the vectorized
+        CSR) are dropped too; the engine stays usable -- the next run simply
+        re-derives what it needs.  Also safe to skip entirely: segments are
+        unlinked at interpreter exit regardless.
+        """
+        from repro.poolexec import SegmentHandle
+
+        for key, value in list(self._substrate_cache.items()):
+            if isinstance(value, SegmentHandle):
+                value.close()
+            del self._substrate_cache[key]
+
+    def __enter__(self) -> "TriangleEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # conveniences

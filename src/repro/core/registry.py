@@ -130,12 +130,20 @@ class ShardingOptions:
     run fails with a :class:`~repro.core.sharding.ShardExecutionError`.
     Retries cannot change results -- every shard is a pure function of its
     task payload.
+
+    ``pool`` selects the worker-pool strategy (:mod:`repro.poolexec`):
+    ``"persistent"`` (the default) leases the process-wide warm pool and
+    ships edge payloads through shared-memory segments, so repeated runs
+    pay neither worker startup nor graph re-transfer; ``"spawn"`` builds a
+    fresh pool per run and tears it down afterwards.  The strategy cannot
+    change results -- only where and how fast the same pure tasks execute.
     """
 
     shards: int = 1
     jobs: int = 1
     task_timeout: float | None = None
     max_retries: int = 2
+    pool: str = "persistent"
 
     def validate(self) -> None:
         """Check every knob is in range."""
@@ -161,6 +169,10 @@ class ShardingOptions:
             raise OptionsError(f"max_retries must be an int, got {self.max_retries!r}")
         if self.max_retries < 0:
             raise OptionsError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.pool not in ("persistent", "spawn"):
+            raise OptionsError(
+                f"pool must be 'persistent' or 'spawn', got {self.pool!r}"
+            )
 
 
 @dataclass
@@ -186,6 +198,11 @@ class SubstrateContext:
     #: :func:`repro.core.cache_aware.enumerate_colored_triples`.  ``None``
     #: (the default) means run the triples phase in-process as usual.
     triples_executor: Callable[..., int] | None = None
+    #: Companion hook for the Lemma-1 high-degree phase of ``triples``
+    #: algorithms: a drop-in replacement for the serial per-vertex loop,
+    #: called as ``(machine, edge_file, sink, high_vertices) -> emitted``.
+    #: ``None`` (the default) keeps the phase in-process.
+    high_degree_executor: Callable[..., int] | None = None
     #: Per-engine scratch shared by every run of the same prepared graph
     #: (``None`` outside an engine).  The engine canonicalises once; an
     #: algorithm may likewise derive an input representation once -- the
@@ -266,17 +283,19 @@ class AlgorithmSpec:
         jobs: int = 1,
         task_timeout: float | None = None,
         max_retries: int | None = None,
+        pool: str | None = None,
     ) -> "ShardingOptions | None":
         """Normalise caller-supplied sharding knobs into validated options.
 
         Returns ``None`` when no sharding was requested (``shards is None``,
         ``jobs == 1``) -- the serial path.  Raises
         :class:`repro.exceptions.OptionsError` when ``jobs``,
-        ``task_timeout`` or ``max_retries`` is given without ``shards``,
-        when the algorithm does not run on the explicit machine substrate
-        (only ``machine``-kind algorithms decompose by the paper's vertex
-        colouring), or when any knob is out of range.  ``max_retries=None``
-        means the :class:`ShardingOptions` default.
+        ``task_timeout``, ``max_retries`` or ``pool`` is given without
+        ``shards``, when the algorithm does not run on the explicit machine
+        substrate (only ``machine``-kind algorithms decompose by the
+        paper's vertex colouring), or when any knob is out of range.
+        ``max_retries=None`` / ``pool=None`` mean the
+        :class:`ShardingOptions` defaults.
         """
         if shards is None:
             if jobs != 1:
@@ -289,6 +308,11 @@ class AlgorithmSpec:
                     "task_timeout/max_retries tune the sharded execution tier and "
                     "require shards: pass shards=c to enable sharded execution"
                 )
+            if pool is not None:
+                raise OptionsError(
+                    "pool selects the sharded execution tier's worker pool and "
+                    "requires shards: pass shards=c to enable sharded execution"
+                )
             return None
         if self.substrate != "machine":
             raise OptionsError(
@@ -298,6 +322,8 @@ class AlgorithmSpec:
         knobs: dict[str, Any] = {"shards": shards, "jobs": jobs, "task_timeout": task_timeout}
         if max_retries is not None:
             knobs["max_retries"] = max_retries
+        if pool is not None:
+            knobs["pool"] = pool
         resolved = ShardingOptions(**knobs)
         resolved.validate()
         return resolved

@@ -6,24 +6,27 @@ with ranked vertices ``v1 < v2 < v3`` and colours ``(xi(v1), xi(v2),
 xi(v3)) = (tau1, tau2, tau3)`` has all three edges inside the union of the
 classes ``E_{tau1,tau2} ∪ E_{tau1,tau3} ∪ E_{tau2,tau3}`` and is found in
 exactly that triple.  This module exploits the shared-nothing structure to
-run one *large* enumeration across a ``multiprocessing`` spawn pool (the
-experiment orchestrator of PR 2 only parallelised across independent
-experiment cells).
+run one *large* enumeration across a worker pool (the experiment
+orchestrator of PR 2 only parallelised across independent experiment
+cells).
 
 Two execution modes, chosen by the registry spec's ``sharding`` field:
 
-``triples`` (``cache_aware``)
-    The algorithm itself runs on the coordinator substrate with its serial
-    colour-triple loop replaced by a distributing executor
-    (:data:`~repro.core.registry.SubstrateContext.triples_executor`): the
-    high-degree phase and the colour partition execute exactly as in the
-    serial run, then each Lemma 2 subproblem -- pivot class, adjacency
-    classes, spectator classes (the PR 1 spectator-source skip) -- is
-    shipped to a worker with a fresh machine and fresh counters.  Because
-    each subproblem's charges depend only on the class contents and the
+``triples`` (``cache_aware``, ``deterministic``)
+    The algorithm itself runs on the coordinator substrate with its two
+    embarrassingly parallel phases replaced by distributing executors: the
+    Lemma 1 high-degree phase ships one :class:`VertexShardTask` per
+    high-degree vertex
+    (:data:`~repro.core.registry.SubstrateContext.high_degree_executor`)
+    and the colour-triple phase ships one :class:`TripleShardTask` per
+    Lemma 2 subproblem
+    (:data:`~repro.core.registry.SubstrateContext.triples_executor`); the
+    colour partition -- and, for ``deterministic``, the inherently
+    sequential greedy colouring -- execute exactly as in the serial run.
+    Because each subproblem's charges depend only on its payload and the
     machine parameters, folding the worker counters back into the
-    coordinator's ``triples`` phase reproduces the serial totals **bit for
-    bit**, for any job count and any completion order.
+    coordinator's phases reproduces the serial totals **bit for bit**, for
+    any job count and any completion order.
 
 ``subgraph`` (every other machine algorithm)
     The coordinator partitions the canonical edge list by endpoint-colour
@@ -37,8 +40,23 @@ Two execution modes, chosen by the registry spec's ``sharding`` field:
     instances, not the serial run; with ``shards=1`` the single shard *is*
     the serial run and the counters coincide.
 
+Execution substrate
+-------------------
+Tasks run under the supervised tier
+(:func:`repro.resilience.supervised_map_unordered`) on the pool selected by
+``ShardingOptions.pool``: the process-wide persistent pool (default) or an
+ephemeral spawn pool.  When a run actually fans out (effective jobs > 1),
+edge payloads travel as :class:`repro.poolexec.SegmentSlice` references
+into shared-memory segments rather than pickled record lists: the
+coordinator publishes the canonical graph and the partitioned classes once
+(content-deduplicated, so a repeated run republished *nothing*), and every
+worker attaches and decodes a given segment at most once.  Segment handles
+live in the engine's substrate cache across runs and are unlinked on
+``engine.close()`` / interpreter exit; a run without an engine cache closes
+its segments when it returns.
+
 Merging is deterministic regardless of completion order: worker outcomes
-are reassembled in triple order, counters are folded in that order, and
+are reassembled in task-index order, counters are folded in that order, and
 triangles are concatenated in that order (deduplicated by their ranked
 triple as a safety net -- the signature filter already guarantees
 exactly-once emission).
@@ -56,6 +74,7 @@ from typing import Any, Iterator, Sequence
 from repro.analysis.model import MachineParams
 from repro.core.cache_aware import iter_colour_triples
 from repro.core.emit import CollectingSink, CountingSink, Triangle, TriangleSink, emit_all
+from repro.core.lemma1 import triangles_through_vertex
 from repro.core.lemma2 import triangles_with_pivot_in
 from repro.core.registry import (
     AlgorithmOptions,
@@ -70,9 +89,18 @@ from repro.extmem.stats import IOStats
 from repro.graph.io import edges_to_file
 from repro.hashing.coloring import Coloring, ConstantColoring, RandomColoring
 from repro.hashing.coloring import colors_of as bulk_colors
+from repro.parallel import effective_jobs
+from repro.poolexec import (
+    EdgeSource,
+    SegmentHandle,
+    provider_for,
+    publish_edges,
+    resolve_edges,
+)
 from repro.resilience import supervised_map_unordered
 
 RankedEdge = tuple[int, int]
+ColorPair = tuple[int, int]
 ColorTriple = tuple[int, int, int]
 
 
@@ -89,21 +117,57 @@ class TripleShardTask:
 
     index: int
     triple: ColorTriple
-    pivot: list[RankedEdge]
-    adjacency: list[list[RankedEdge]]
-    spectators: list[list[RankedEdge]]
+    pivot: EdgeSource
+    adjacency: list[EdgeSource]
+    spectators: list[EdgeSource]
     memory: int
     block: int
     collect: bool
 
+    def fault_key(self) -> str:
+        return f"shard:{self.index}"
+
+    def describe(self) -> str:
+        return f"shard {self.triple}"
+
+
+@dataclass(frozen=True)
+class VertexShardTask:
+    """One Lemma 1 per-vertex subproblem of the high-degree phase.
+
+    ``excluded`` is the (already processed) high-degree prefix, so every
+    triangle with two or three high-degree vertices is still emitted
+    exactly once -- the workers reproduce the serial loop's exclusion
+    discipline independently.
+    """
+
+    index: int
+    vertex: int
+    excluded: tuple[int, ...]
+    edges: EdgeSource
+    memory: int
+    block: int
+    collect: bool
+
+    def fault_key(self) -> str:
+        return f"shard:hd:{self.index}"
+
+    def describe(self) -> str:
+        return f"high-degree shard (vertex {self.vertex})"
+
 
 @dataclass(frozen=True)
 class SubgraphShardTask:
-    """One full-algorithm run on a colour-triple subgraph."""
+    """One full-algorithm run on a colour-triple subgraph.
+
+    ``parts`` holds the triple's distinct colour classes in sorted-key
+    order; the worker merges them back into the canonical-order union (the
+    classes partition the union, each preserving canonical edge order).
+    """
 
     index: int
     triple: ColorTriple
-    edges: list[RankedEdge]
+    parts: tuple[EdgeSource, ...]
     algorithm: str
     options: dict[str, Any]
     seed: int
@@ -112,13 +176,20 @@ class SubgraphShardTask:
     block: int
     collect: bool
 
+    def fault_key(self) -> str:
+        return f"shard:{self.index}"
+
+    def describe(self) -> str:
+        return f"shard {self.triple}"
+
 
 @dataclass
 class ShardOutcome:
     """What one shard worker sends back to the coordinator."""
 
     index: int
-    triple: ColorTriple
+    triple: ColorTriple | None = None
+    vertex: int | None = None
     count: int = 0
     triangles: list[Triangle] | None = None
     reads: int = 0
@@ -134,9 +205,12 @@ class ShardOutcome:
 class ShardingStats:
     """Per-run sharding metadata surfaced on :class:`~repro.core.result.RunResult`.
 
-    ``shard_seconds`` is each shard's worker-side wall time in triple order;
-    single-core hosts use it to project multi-core makespans (see
-    ``benchmarks/run_benchmarks.py``).
+    ``shard_seconds`` is each colour-triple shard's worker-side wall time in
+    triple order; single-core hosts use it to project multi-core makespans
+    (see ``benchmarks/run_benchmarks.py``).  ``hd_tasks``/``hd_seconds``
+    describe the distributed high-degree phase of ``triples``-mode runs
+    (zero/empty when the graph has no high-degree vertices or the phase ran
+    in-process).
     """
 
     mode: str
@@ -146,6 +220,8 @@ class ShardingStats:
     shard_edges: int
     shard_seconds: list[float] = field(default_factory=list)
     shard_triples: list[ColorTriple] = field(default_factory=list)
+    hd_tasks: int = 0
+    hd_seconds: list[float] = field(default_factory=list)
 
 
 @dataclass
@@ -168,12 +244,38 @@ def _execute_triple_shard(task: TripleShardTask) -> ShardOutcome:
     outcome = ShardOutcome(index=task.index, triple=task.triple)
     try:
         machine = Machine(MachineParams(task.memory, task.block), IOStats())
-        pivot = machine.file_from_records(task.pivot, name="shard-pivot")
-        adjacency = [machine.file_from_records(records) for records in task.adjacency]
-        spectators = [machine.file_from_records(records) for records in task.spectators]
+        pivot = machine.file_from_records(resolve_edges(task.pivot), name="shard-pivot")
+        adjacency = [machine.file_from_records(resolve_edges(s)) for s in task.adjacency]
+        spectators = [machine.file_from_records(resolve_edges(s)) for s in task.spectators]
         sink: CollectingSink | CountingSink = CollectingSink() if task.collect else CountingSink()
         started = time.perf_counter()
         triangles_with_pivot_in(machine, pivot, adjacency, sink, spectator_sources=spectators)
+        outcome.wall_seconds = time.perf_counter() - started
+        outcome.count = sink.count
+        outcome.triangles = sink.triangles if task.collect else None
+        outcome.reads = machine.stats.reads
+        outcome.writes = machine.stats.writes
+        outcome.operations = machine.stats.operations
+        outcome.phases = machine.stats.phases
+        outcome.disk_peak_words = machine.disk.peak_words
+    except Exception:  # noqa: BLE001 - the traceback is the payload
+        outcome.error = traceback.format_exc()
+    return outcome
+
+
+def _execute_vertex_shard(task: VertexShardTask) -> ShardOutcome:
+    """Run one Lemma 1 per-vertex subproblem on a fresh machine; never raises."""
+    outcome = ShardOutcome(index=task.index, vertex=task.vertex)
+    try:
+        machine = Machine(MachineParams(task.memory, task.block), IOStats())
+        edge_file = machine.file_from_records(
+            [tuple(edge) for edge in resolve_edges(task.edges)], name="shard-graph"
+        )
+        sink: CollectingSink | CountingSink = CollectingSink() if task.collect else CountingSink()
+        started = time.perf_counter()
+        triangles_through_vertex(
+            machine, [edge_file], task.vertex, sink, excluded=frozenset(task.excluded)
+        )
         outcome.wall_seconds = time.perf_counter() - started
         outcome.count = sink.count
         outcome.triangles = sink.triangles if task.collect else None
@@ -223,7 +325,12 @@ def _execute_subgraph_shard(task: SubgraphShardTask) -> ShardOutcome:
         params = MachineParams(task.memory, task.block)
         stats = IOStats()
         machine = Machine(params, stats)
-        edge_file = edges_to_file(machine, [tuple(edge) for edge in task.edges])
+        # The classes partition the union and each preserves canonical
+        # lexicographic order, so the k-way merge rebuilds exactly the
+        # canonical-order union the coordinator used to ship.
+        parts = [resolve_edges(part) for part in task.parts]
+        union = parts[0] if len(parts) == 1 else list(heapq.merge(*parts))
+        edge_file = edges_to_file(machine, [tuple(edge) for edge in union])
         coloring = _decomposition_coloring(task.num_colors, task.seed)
         inner: CollectingSink | CountingSink = CollectingSink() if task.collect else CountingSink()
         sink = _SignatureFilterSink(inner, coloring, tuple(task.triple))
@@ -261,13 +368,42 @@ def _decomposition_coloring(num_colors: int, seed: int) -> Coloring:
 
 def _shard_fault_key(_index: int, task: Any) -> str:
     """The stable fault-injection / backoff key for one shard task."""
-    return f"shard:{task.index}"
+    return task.fault_key()
+
+
+def _retain_handle(
+    handle: SegmentHandle | None,
+    cache: dict[str, Any] | None,
+    run_handles: list[SegmentHandle],
+) -> SegmentHandle | None:
+    """Park a published segment where its lifetime is managed.
+
+    With an engine cache the handle lives under a ``poolexec:segment:``
+    key until ``engine.close()``, so a repeated run's (content-deduplicated)
+    re-publish costs nothing; a duplicate publish of already-cached content
+    immediately drops its extra reference.  Without a cache the handle is
+    run-local and :func:`run_sharded` closes it on the way out.
+    """
+    if handle is None:
+        return None
+    if cache is None:
+        run_handles.append(handle)
+        return handle
+    key = f"poolexec:segment:{handle.token}"
+    cached = cache.get(key)
+    if isinstance(cached, SegmentHandle) and not cached.closed:
+        # publish_edges dedups by content, so a live cached entry for this
+        # token *is* this handle with one extra reference -- drop it.
+        handle.close()
+    else:
+        cache[key] = handle
+    return handle
 
 
 def _collect_outcomes(
     worker, tasks: Sequence[Any], sharding: ShardingOptions
 ) -> list[ShardOutcome]:
-    """Execute shard tasks under supervision; reassemble in triple order.
+    """Execute shard tasks under supervision; reassemble in task-index order.
 
     Completion order is irrelevant: outcomes are keyed by shard index and
     returned sorted, which is what makes every merge downstream
@@ -279,10 +415,13 @@ def _collect_outcomes(
     :class:`ShardExecutionError` instead of hanging.  An *algorithmic*
     error inside a shard (the worker caught an exception and reported it in
     ``ShardOutcome.error``) is deterministic and fails immediately without
-    retry.
+    retry.  ``sharding.pool`` selects the worker-pool strategy when the map
+    actually fans out.
     """
     tasks = list(tasks)
     by_index: dict[int, ShardOutcome] = {}
+    resolved_jobs = effective_jobs(sharding.jobs, len(tasks))
+    provider = provider_for(sharding.pool, resolved_jobs) if resolved_jobs > 1 else None
     supervised = supervised_map_unordered(
         worker,
         tasks,
@@ -290,19 +429,21 @@ def _collect_outcomes(
         task_timeout=sharding.task_timeout,
         max_retries=sharding.max_retries,
         fault_key=_shard_fault_key,
+        pool_provider=provider,
     )
     for item in supervised:
         if not item.ok:
             task = tasks[item.index]
             kinds = ", ".join(item.outcome.failures) or "unknown failure"
             raise ShardExecutionError(
-                f"shard {task.triple} failed after {item.outcome.attempts} attempts "
+                f"{task.describe()} failed after {item.outcome.attempts} attempts "
                 f"({kinds}):\n{item.outcome.error}"
             )
         outcome = item.value
         if outcome.error is not None:
+            task = tasks[outcome.index]
             raise ShardExecutionError(
-                f"shard {outcome.triple} failed in a worker:\n{outcome.error}"
+                f"{task.describe()} failed in a worker:\n{outcome.error}"
             )
         by_index[outcome.index] = outcome
     return [by_index[index] for index in sorted(by_index)]
@@ -337,17 +478,60 @@ def run_sharded(
     seed: int,
     sharding: ShardingOptions,
     collect: bool,
+    cache: dict[str, Any] | None = None,
 ) -> ShardedRun:
     """Execute ``spec`` on ``edges`` sharded by the paper's vertex colouring.
 
     ``collect=True`` ships ranked triangles back from the workers (the
     engine translates and re-emits them in triple order); otherwise the
-    workers only count.  The caller guarantees ``spec.substrate ==
-    "machine"`` (enforced by :meth:`AlgorithmSpec.resolve_sharding`).
+    workers only count.  ``cache`` is the engine's substrate cache: when
+    given, published shared-memory segments are parked there (and closed by
+    ``engine.close()``) so repeated runs re-transfer nothing; without it
+    every segment of this run is unlinked before returning.  The caller
+    guarantees ``spec.substrate == "machine"`` (enforced by
+    :meth:`AlgorithmSpec.resolve_sharding`).
     """
-    if spec.sharding == "triples":
-        return _run_triples_sharded(edges, spec, options, params, seed, sharding, collect)
-    return _run_subgraph_sharded(edges, spec, options, params, seed, sharding, collect)
+    run_handles: list[SegmentHandle] = []
+    try:
+        if spec.sharding == "triples":
+            return _run_triples_sharded(
+                edges, spec, options, params, seed, sharding, collect, cache, run_handles
+            )
+        return _run_subgraph_sharded(
+            edges, spec, options, params, seed, sharding, collect, cache, run_handles
+        )
+    finally:
+        for handle in run_handles:
+            handle.close()
+
+
+def _slice_sources(
+    slices: dict[ColorPair, Any],
+    pooled: bool,
+    cache: dict[str, Any] | None,
+    run_handles: list[SegmentHandle],
+) -> dict[int, EdgeSource]:
+    """An :data:`EdgeSource` per partition slice, keyed by ``id(slice)``.
+
+    Reading the slice contents is coordinator orchestration, not simulated
+    I/O -- the workers re-charge every scan and load of these records
+    exactly as the serial loop would have.  When the run fans out, the
+    classes are concatenated (in sorted colour-pair order) into one
+    published segment and each slice becomes a :class:`SegmentSlice` into
+    it; otherwise the records ride along inline.
+    """
+    records = {pair: fs._read_range(0, len(fs)) for pair, fs in slices.items()}
+    if pooled:
+        flat: list[RankedEdge] = []
+        spans: dict[ColorPair, tuple[int, int]] = {}
+        for pair in sorted(records):
+            class_records = records[pair]
+            spans[pair] = (len(flat), len(flat) + len(class_records))
+            flat.extend(class_records)
+        handle = _retain_handle(publish_edges(flat), cache, run_handles)
+        if handle is not None:
+            return {id(slices[pair]): handle.slice(*spans[pair]) for pair in records}
+    return {id(slices[pair]): records[pair] for pair in records}
 
 
 def _run_triples_sharded(
@@ -358,12 +542,15 @@ def _run_triples_sharded(
     seed: int,
     sharding: ShardingOptions,
     collect: bool,
+    cache: dict[str, Any] | None,
+    run_handles: list[SegmentHandle],
 ) -> ShardedRun:
-    """Distribute the algorithm's own colour-triple phase over workers."""
+    """Distribute the algorithm's own parallel phases over workers."""
     options = _apply_shard_colors(spec, options, sharding.shards)
     stats = IOStats()
     machine = Machine(params, stats)
-    edge_file = edges_to_file(machine, list(edges))
+    edge_list = list(edges)
+    edge_file = edges_to_file(machine, list(edge_list))
     local_sink: CollectingSink | CountingSink = CollectingSink() if collect else CountingSink()
     sharding_stats = ShardingStats(
         mode="triples",
@@ -375,27 +562,66 @@ def _run_triples_sharded(
     counted_only = 0
     worker_peaks = [0]
 
+    def fold_outcome(coord_machine: Machine, outcome: ShardOutcome, sink) -> int:
+        # Folded inside the coordinator's active phase, so the phase
+        # attribution -- and therefore the aggregate counters -- matches
+        # the serial run bit for bit.
+        coord_machine.stats.charge_read(outcome.reads)
+        coord_machine.stats.charge_write(outcome.writes)
+        coord_machine.stats.charge_operations(outcome.operations)
+        worker_peaks.append(outcome.disk_peak_words)
+        if collect and outcome.triangles:
+            emit_all(sink, outcome.triangles)
+        return outcome.count
+
+    def hd_executor(coord_machine: Machine, _edge_file, sink, high_vertices) -> int:
+        nonlocal counted_only
+        pooled = effective_jobs(sharding.jobs, len(high_vertices)) > 1
+        source: EdgeSource = edge_list
+        if pooled:
+            handle = _retain_handle(publish_edges(edge_list), cache, run_handles)
+            if handle is not None:
+                source = handle.slice(0, handle.length)
+        tasks = [
+            VertexShardTask(
+                index=index,
+                vertex=vertex,
+                excluded=tuple(high_vertices[:index]),
+                edges=source,
+                memory=params.memory_words,
+                block=params.block_words,
+                collect=collect,
+            )
+            for index, vertex in enumerate(high_vertices)
+        ]
+        outcomes = _collect_outcomes(_execute_vertex_shard, tasks, sharding)
+        sharding_stats.hd_tasks = len(tasks)
+        emitted = 0
+        for outcome in outcomes:
+            emitted += fold_outcome(coord_machine, outcome, sink)
+            sharding_stats.hd_seconds.append(outcome.wall_seconds)
+        if not collect:
+            counted_only += emitted
+        return emitted
+
     def executor(coord_machine: Machine, slices, coloring, sink) -> int:
         nonlocal counted_only
-        tasks: list[TripleShardTask] = []
-        for index, (triple, pivot, adjacency, spectators) in enumerate(
-            iter_colour_triples(slices, coloring.num_colors)
-        ):
-            # Extracting slice contents is coordinator orchestration, not
-            # simulated I/O -- the workers re-charge every scan and load of
-            # these records exactly as the serial loop would have.
-            tasks.append(
-                TripleShardTask(
-                    index=index,
-                    triple=triple,
-                    pivot=pivot._read_range(0, len(pivot)),
-                    adjacency=[s._read_range(0, len(s)) for s in adjacency],
-                    spectators=[s._read_range(0, len(s)) for s in spectators],
-                    memory=params.memory_words,
-                    block=params.block_words,
-                    collect=collect,
-                )
+        subproblems = list(iter_colour_triples(slices, coloring.num_colors))
+        pooled = effective_jobs(sharding.jobs, len(subproblems)) > 1
+        sources = _slice_sources(slices, pooled, cache, run_handles)
+        tasks = [
+            TripleShardTask(
+                index=index,
+                triple=triple,
+                pivot=sources[id(pivot)],
+                adjacency=[sources[id(s)] for s in adjacency],
+                spectators=[sources[id(s)] for s in spectators],
+                memory=params.memory_words,
+                block=params.block_words,
+                collect=collect,
             )
+            for index, (triple, pivot, adjacency, spectators) in enumerate(subproblems)
+        ]
         outcomes = _collect_outcomes(_execute_triple_shard, tasks, sharding)
         sharding_stats.num_shards = len(tasks)
         sharding_stats.shard_edges = sum(
@@ -404,20 +630,11 @@ def _run_triples_sharded(
         )
         emitted = 0
         for outcome in outcomes:
-            # Folded inside the coordinator's "triples" phase, so the phase
-            # attribution -- and therefore the aggregate counters -- matches
-            # the serial run bit for bit.
-            coord_machine.stats.charge_read(outcome.reads)
-            coord_machine.stats.charge_write(outcome.writes)
-            coord_machine.stats.charge_operations(outcome.operations)
-            worker_peaks.append(outcome.disk_peak_words)
+            emitted += fold_outcome(coord_machine, outcome, sink)
             sharding_stats.shard_seconds.append(outcome.wall_seconds)
             sharding_stats.shard_triples.append(tuple(outcome.triple))
-            emitted += outcome.count
-            if collect and outcome.triangles:
-                emit_all(sink, outcome.triangles)
         if not collect:
-            counted_only = emitted
+            counted_only += emitted
         return emitted
 
     context = SubstrateContext(
@@ -427,6 +644,8 @@ def _run_triples_sharded(
         machine=machine,
         edge_file=edge_file,
         triples_executor=executor,
+        high_degree_executor=hd_executor,
+        cache=cache,
     )
     report = spec.runner(context, local_sink, options)
     triangle_count = local_sink.count + counted_only
@@ -447,7 +666,10 @@ def _apply_shard_colors(
 
     In triples mode the decomposition colouring *is* the algorithm's own
     colouring, so the two knobs must agree; an explicit conflicting
-    ``num_colors`` is rejected rather than silently overridden.
+    ``num_colors`` is rejected rather than silently overridden.  (An
+    algorithm may still round the count up internally -- ``deterministic``
+    rounds to a power of two -- which is fine: the executors follow the
+    algorithm's own colouring.)
     """
     if not any(f.name == "num_colors" for f in dataclasses.fields(options)):
         raise OptionsError(
@@ -519,12 +741,14 @@ def _partition_by_color_pairs_vectorized(
 
 def _iter_subgraph_shards(
     classes: dict[tuple[int, int], list[RankedEdge]], num_colors: int
-) -> Iterator[tuple[ColorTriple, list[RankedEdge]]]:
-    """Yield ``(triple, union edge list)`` for every feasible colour triple.
+) -> Iterator[tuple[ColorTriple, list[ColorPair]]]:
+    """Yield ``(triple, sorted class keys)`` for every feasible colour triple.
 
     A triangle with signature ``(tau1, tau2, tau3)`` needs one edge in each
     of the three classes, so triples with an empty class are skipped -- the
-    pruning mirrors the pivot-empty skip of the serial triple loop.
+    pruning mirrors the pivot-empty skip of the serial triple loop.  The
+    shard's edge set is the union of the named classes; the worker merges
+    them back into canonical order.
     """
     for tau1 in range(num_colors):
         for tau2 in range(num_colors):
@@ -532,9 +756,7 @@ def _iter_subgraph_shards(
                 keys = {(tau1, tau2), (tau1, tau3), (tau2, tau3)}
                 if any(not classes.get(key) for key in keys):
                     continue
-                parts = [classes[key] for key in sorted(keys)]
-                union = parts[0] if len(parts) == 1 else list(heapq.merge(*parts))
-                yield (tau1, tau2, tau3), union
+                yield (tau1, tau2, tau3), sorted(keys)
 
 
 def _run_subgraph_sharded(
@@ -545,15 +767,35 @@ def _run_subgraph_sharded(
     seed: int,
     sharding: ShardingOptions,
     collect: bool,
+    cache: dict[str, Any] | None,
+    run_handles: list[SegmentHandle],
 ) -> ShardedRun:
     """Re-run the whole algorithm per colour-triple subgraph and merge."""
     coloring = _decomposition_coloring(sharding.shards, seed)
     classes = _partition_by_color_pairs(edges, coloring)
+    shard_keys = list(_iter_subgraph_shards(classes, sharding.shards))
+    pooled = effective_jobs(sharding.jobs, len(shard_keys)) > 1
+
+    # One flat segment over the classes (sorted colour-pair order); every
+    # shard ships slices into it instead of pickled unions.  The in-process
+    # path keeps zero-overhead inline records.
+    sources: dict[ColorPair, EdgeSource] = {pair: records for pair, records in classes.items()}
+    if pooled:
+        flat: list[RankedEdge] = []
+        spans: dict[ColorPair, tuple[int, int]] = {}
+        for pair in sorted(classes):
+            class_records = classes[pair]
+            spans[pair] = (len(flat), len(flat) + len(class_records))
+            flat.extend(class_records)
+        handle = _retain_handle(publish_edges(flat), cache, run_handles)
+        if handle is not None:
+            sources = {pair: handle.slice(*spans[pair]) for pair in classes}
+
     tasks = [
         SubgraphShardTask(
             index=index,
             triple=triple,
-            edges=union,
+            parts=tuple(sources[key] for key in keys),
             algorithm=spec.name,
             options=options.to_mapping(),
             seed=seed,
@@ -562,7 +804,7 @@ def _run_subgraph_sharded(
             block=params.block_words,
             collect=collect,
         )
-        for index, (triple, union) in enumerate(_iter_subgraph_shards(classes, sharding.shards))
+        for index, (triple, keys) in enumerate(shard_keys)
     ]
     outcomes = _collect_outcomes(_execute_subgraph_shard, tasks, sharding)
 
@@ -572,7 +814,7 @@ def _run_subgraph_sharded(
         num_colors=sharding.shards,
         jobs=sharding.jobs,
         num_shards=len(tasks),
-        shard_edges=sum(len(task.edges) for task in tasks),
+        shard_edges=sum(sum(len(part) for part in task.parts) for task in tasks),
     )
     disk_peak = 0
     for outcome in outcomes:

@@ -5,8 +5,10 @@ produced by the experiment modules' ``specs()`` hooks -- deduplicates them
 by content address, satisfies what it can from the artifact store, and
 executes the rest through the supervised execution tier
 (:func:`repro.resilience.supervised_map_unordered`): serially when
-``jobs=1``, otherwise across a monitored ``multiprocessing`` worker pool
-with per-cell retries, optional task timeouts, and dead-worker detection.
+``jobs=1``, otherwise across a monitored worker pool -- by default the
+process-wide persistent pool (:mod:`repro.poolexec`), so repeated runs pay
+worker startup once -- with per-cell retries, optional task timeouts, and
+dead-worker detection.
 Results are keyed by spec hash in a :class:`ResultSet`, which the modules'
 ``tabulate()`` hooks index by spec to re-render their tables.
 
@@ -32,6 +34,8 @@ from repro.exceptions import ReproError
 from repro.experiments.specs import RunSpec
 from repro.experiments.store import ResultStore
 from repro.experiments.tasks import execute_spec
+from repro.parallel import effective_jobs
+from repro.poolexec import POOL_MODES, provider_for
 from repro.resilience import BackoffPolicy, TaskOutcome, active_plan, supervised_map_unordered
 
 
@@ -124,6 +128,7 @@ class ParallelRunner:
         task_timeout: float | None = None,
         max_retries: int = 2,
         backoff: BackoffPolicy | None = None,
+        pool: str = "persistent",
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {jobs}")
@@ -131,12 +136,20 @@ class ParallelRunner:
             raise ValueError(f"task_timeout must be positive, got {task_timeout}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if pool not in POOL_MODES:
+            raise ValueError(f"pool must be one of {POOL_MODES}, got {pool!r}")
         self.store = store
         self.jobs = jobs
         self.progress = progress
         self.task_timeout = task_timeout
         self.max_retries = max_retries
         self.backoff = backoff
+        #: Worker-pool strategy (:mod:`repro.poolexec`): ``"persistent"``
+        #: leases the process-wide warm pool shared with every other runner
+        #: and sharded engine run in this process, so back-to-back
+        #: ``run()`` calls pay worker startup once; ``"spawn"`` keeps the
+        #: historical fresh-pool-per-run behaviour.
+        self.pool = pool
 
     def _report(self, message: str) -> None:
         if self.progress is not None:
@@ -168,6 +181,8 @@ class ParallelRunner:
                 self._report(f"{failed_before} cells failed last run, retrying")
 
         plan = active_plan()
+        resolved_jobs = effective_jobs(self.jobs, len(pending))
+        provider = provider_for(self.pool, resolved_jobs) if resolved_jobs > 1 else None
         supervised = supervised_map_unordered(
             execute_spec,
             pending,
@@ -176,6 +191,7 @@ class ParallelRunner:
             max_retries=self.max_retries,
             backoff=self.backoff,
             fault_key=_spec_fault_key,
+            pool_provider=provider,
         )
 
         done = 0

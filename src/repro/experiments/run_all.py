@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.experiments.parallel import ParallelRunner, dedupe_specs
+from repro.poolexec import POOL_MODES
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.specs import RunSpec
 from repro.experiments.store import (
@@ -120,6 +121,7 @@ def run_experiments(
     progress=None,
     task_timeout: float | None = None,
     max_retries: int = 2,
+    pool: str = "persistent",
 ) -> RunReport:
     """Orchestrate the selected experiments (all by default).
 
@@ -155,6 +157,7 @@ def run_experiments(
         progress=progress,
         task_timeout=task_timeout,
         max_retries=max_retries,
+        pool=pool,
     )
     results = runner.run(flat)
     report.executed = results.executed
@@ -221,6 +224,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="worker processes for independent cells (default 1 = serial)",
     )
     parser.add_argument(
+        "--pool",
+        choices=POOL_MODES,
+        default="persistent",
+        help="worker-pool strategy for --jobs > 1: 'persistent' reuses one "
+        "warm process-wide pool across runs, 'spawn' starts a fresh pool "
+        "per run (default persistent)",
+    )
+    parser.add_argument(
         "--task-timeout",
         type=float,
         default=None,
@@ -280,6 +291,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             progress=progress,
             task_timeout=arguments.task_timeout,
             max_retries=arguments.max_retries,
+            pool=arguments.pool,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)

@@ -25,6 +25,17 @@ submitted individually via ``apply_async`` and supervised:
 * **graceful degradation.**  Pool-level failures (a broken or unusable
   pool) rebuild the pool; after ``max_pool_failures`` rebuilds the
   remaining items run serially in-process, which cannot lose tasks.
+* **pluggable pools.**  The pool itself comes from a
+  :class:`repro.poolexec.pool.PoolProvider` lease: the default
+  :class:`~repro.poolexec.pool.EphemeralPoolProvider` spawns a fresh pool
+  per map (the historical semantics), while the persistent provider hands
+  out the process-wide warm pool and keeps it alive across maps.  Because
+  a persistent pool's started-message queue outlives individual maps,
+  every submitted task and every started message is stamped with the
+  lease's *epoch*; messages from another epoch are discarded.  Fault
+  plans are shipped *inside* each task payload rather than relied upon
+  via the environment -- a warm worker spawned before the plan was
+  activated would never see the variable.
 
 Every item yields a :class:`SupervisedResult` carrying the task's value and
 a structured :class:`TaskOutcome` (attempt count, per-attempt failure kinds
@@ -40,7 +51,6 @@ mode above is reproducible on demand.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import random
 import signal
@@ -50,7 +60,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence, TypeVar
 
 from repro.parallel import effective_jobs
-from repro.resilience.faults import active_plan
+from repro.poolexec.pool import (
+    EphemeralPoolProvider,
+    PoolLease,
+    PoolProvider,
+    worker_started_queue,
+)
+from repro.resilience.faults import FaultPlan, active_plan
 
 Item = TypeVar("Item")
 
@@ -136,13 +152,24 @@ class _AttemptResult:
     duration: float = 0.0
 
 
+#: Sentinel: resolve the fault plan from the environment (the serial path;
+#: pool attempts instead receive the coordinator's plan inside the payload).
+_ENV_PLAN: Any = object()
+
+
 def _run_attempt(
-    function: Callable[[Any], Any], item: Any, key: str, attempt: int, in_process: bool
+    function: Callable[[Any], Any],
+    item: Any,
+    key: str,
+    attempt: int,
+    in_process: bool,
+    plan: Any = _ENV_PLAN,
 ) -> _AttemptResult:
-    """Execute one attempt, applying any active fault plan; never raises."""
+    """Execute one attempt, applying the given fault plan; never raises."""
     started = time.perf_counter()
     try:
-        plan = active_plan()
+        if plan is _ENV_PLAN:
+            plan = active_plan()
         if plan is not None:
             plan.fire(key, attempt, in_process=in_process)
         value = function(item)
@@ -153,25 +180,27 @@ def _run_attempt(
         )
 
 
-#: Worker-process handle to the started-message queue (set by the pool
-#: initializer; ``None`` in the coordinating process).
-_STARTED_QUEUE: Any = None
+def _pool_attempt(packed: tuple) -> tuple[str, int, _AttemptResult]:
+    """Worker entry point: announce the attempt, then run it.
 
-
-def _init_worker(started_queue: Any) -> None:
-    global _STARTED_QUEUE
-    _STARTED_QUEUE = started_queue
-
-
-def _pool_attempt(packed: tuple) -> tuple[int, int, _AttemptResult]:
-    """Worker entry point: announce the attempt, then run it."""
-    index, attempt, function, item, key = packed
-    if _STARTED_QUEUE is not None:
+    The payload carries the coordinator's fault plan (as JSON) instead of
+    the worker consulting its own environment: a persistent worker may have
+    been spawned before the plan was activated -- or after it was retired
+    -- so only the coordinator's view at submission time is authoritative.
+    """
+    epoch, index, attempt, function, item, key, plan_json = packed
+    queue = worker_started_queue()
+    if queue is not None:
         # SimpleQueue.put is a synchronous pipe write (no feeder thread), so
         # the supervisor learns about this attempt even if the task crashes
         # the interpreter on the very next line.
-        _STARTED_QUEUE.put((index, attempt, os.getpid()))
-    return index, attempt, _run_attempt(function, item, key, attempt, in_process=False)
+        queue.put((epoch, index, attempt, os.getpid()))
+    plan = FaultPlan.from_json(plan_json) if plan_json is not None else None
+    return (
+        epoch,
+        index,
+        _run_attempt(function, item, key, attempt, in_process=False, plan=plan),
+    )
 
 
 def _complete_serially(
@@ -232,6 +261,7 @@ class _PoolSupervisor:
         backoff: BackoffPolicy,
         poll_interval: float,
         max_pool_failures: int,
+        provider: PoolProvider,
     ) -> None:
         self.function = function
         self.items = items
@@ -242,34 +272,30 @@ class _PoolSupervisor:
         self.backoff = backoff
         self.poll_interval = poll_interval
         self.max_pool_failures = max_pool_failures
+        self.provider = provider
+        plan = active_plan()
+        #: The coordinator's fault plan, serialised once and shipped inside
+        #: every task payload (see :func:`_pool_attempt`).
+        self.plan_json = plan.to_json() if plan is not None else None
 
-        self.context = multiprocessing.get_context("spawn")
         self.outcomes = {i: TaskOutcome(index=i, key=keys[i]) for i in range(len(items))}
         #: (earliest submit monotonic time, index) of tasks awaiting (re)submission.
         self.ready: list[tuple[float, int]] = [(0.0, i) for i in range(len(items))]
         self.inflight: dict[int, _InFlight] = {}
         self.finished: list[SupervisedResult] = []
         self.remaining = len(items)
-        self.pool: Any = None
-        self.started_queue: Any = None
+        self.lease: PoolLease | None = None
         self.pool_failures = 0
         self.degraded = False
 
     # -- pool lifecycle ------------------------------------------------
     def _start_pool(self) -> None:
-        self.started_queue = self.context.SimpleQueue()
-        self.pool = self.context.Pool(
-            processes=self.jobs, initializer=_init_worker, initargs=(self.started_queue,)
-        )
+        self.lease = self.provider.lease()
 
     def _stop_pool(self) -> None:
-        if self.pool is not None:
-            self.pool.terminate()
-            self.pool.join()
-            self.pool = None
-        if self.started_queue is not None:
-            self.started_queue.close()
-            self.started_queue = None
+        lease, self.lease = self.lease, None
+        if lease is not None:
+            self.provider.release(lease)
 
     def _pool_broken(self, error: str) -> None:
         """A pool-level failure: resubmit in-flight work, rebuild or degrade.
@@ -288,7 +314,9 @@ class _PoolSupervisor:
             outcome.durations.append(now - flight.submitted_at)
             self.ready.append((now, index))
         self.inflight.clear()
-        self._stop_pool()
+        lease, self.lease = self.lease, None
+        if lease is not None:
+            self.provider.invalidate(lease)
         if self.pool_failures >= self.max_pool_failures:
             self.degraded = True
         else:
@@ -302,7 +330,8 @@ class _PoolSupervisor:
         what makes death detection immediate rather than waiting for the
         pool's own reaper thread.
         """
-        workers = getattr(self.pool, "_pool", None)
+        pool = self.lease.pool if self.lease is not None else None
+        workers = getattr(pool, "_pool", None)
         if workers is None:
             return None
         try:
@@ -331,9 +360,17 @@ class _PoolSupervisor:
                 continue
             outcome = self.outcomes[index]
             attempt = outcome.charged_failures
-            packed = (index, attempt, self.function, self.items[index], self.keys[index])
+            packed = (
+                self.lease.epoch if self.lease is not None else "",
+                index,
+                attempt,
+                self.function,
+                self.items[index],
+                self.keys[index],
+                self.plan_json,
+            )
             try:
-                async_result = self.pool.apply_async(_pool_attempt, (packed,))
+                async_result = self.lease.pool.apply_async(_pool_attempt, (packed,))
             except Exception:
                 # Put the unsubmitted work back before handling the broken
                 # pool so nothing is dropped.
@@ -347,8 +384,14 @@ class _PoolSupervisor:
             )
 
     def _drain_started(self) -> None:
-        while self.started_queue is not None and not self.started_queue.empty():
-            index, attempt, pid = self.started_queue.get()
+        lease = self.lease
+        queue = lease.started_queue if lease is not None else None
+        while queue is not None and not queue.empty():
+            epoch, index, attempt, pid = queue.get()
+            if epoch != lease.epoch:
+                # A message from a previous map over the same (persistent)
+                # pool -- its indices mean nothing here; drop it.
+                continue
             flight = self.inflight.get(index)
             if flight is not None and flight.attempt == attempt:
                 flight.started_at = time.monotonic()
@@ -496,6 +539,7 @@ def supervised_map_unordered(
     fault_key: Callable[[int, Item], str] | None = None,
     poll_interval: float = 0.05,
     max_pool_failures: int = 3,
+    pool_provider: PoolProvider | None = None,
 ) -> Iterator[SupervisedResult]:
     """Apply ``function`` to every item under supervision; yield as completed.
 
@@ -515,6 +559,12 @@ def supervised_map_unordered(
     see :func:`repro.parallel.effective_jobs`) runs in-process: exceptions
     are still retried with backoff, but ``task_timeout`` cannot be enforced
     on the caller's own thread and is ignored.
+
+    ``pool_provider`` selects the pool strategy: ``None`` (the default)
+    spawns a fresh ephemeral pool for this map and terminates it on exit --
+    the historical behaviour -- while a
+    :class:`repro.poolexec.pool.PersistentPoolProvider` leases the
+    process-wide warm pool and leaves it running for the next map.
     """
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -530,15 +580,19 @@ def supervised_map_unordered(
             yield _complete_serially(function, item, outcome, max_retries, policy)
         return
 
+    resolved_jobs = effective_jobs(jobs, len(items))
     supervisor = _PoolSupervisor(
         function=function,
         items=items,
         keys=keys,
-        jobs=effective_jobs(jobs, len(items)),
+        jobs=resolved_jobs,
         task_timeout=task_timeout,
         max_retries=max_retries,
         backoff=policy,
         poll_interval=poll_interval,
         max_pool_failures=max_pool_failures,
+        provider=(
+            pool_provider if pool_provider is not None else EphemeralPoolProvider(resolved_jobs)
+        ),
     )
     yield from supervisor.run()

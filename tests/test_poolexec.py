@@ -1,0 +1,405 @@
+"""Tests for the persistent execution tier (:mod:`repro.poolexec`).
+
+Three layers, matching the module's promises:
+
+Segments
+    Publish/attach round trips, content-hash deduplication, refcounted
+    unlink, slice bounds -- and the lifecycle guarantees: a sharded engine
+    owns segments only until ``close()``, repeated runs on the same graph
+    re-transfer nothing, and a full engine run in a subprocess leaves no
+    ``/dev/shm`` entry and no resource-tracker complaint behind.
+
+Pools
+    Provider idempotence (the historical double-``terminate()`` between
+    the orchestrator and the supervisor is now a structural no-op), warm
+    worker reuse across back-to-back ``engine.run`` calls and orchestrator
+    runs, and pool selection plumbing (engine knob, runner knob).
+
+Faults
+    A fault-injected run on the persistent pool stays bit-identical to
+    serial: crashed workers are replaced by the pool, replacements
+    re-attach the warm segments, and the retried shards fold to the same
+    counters.
+"""
+
+import glob
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from contextlib import contextmanager
+
+import pytest
+
+from repro.analysis.model import MachineParams
+from repro.core.engine import TriangleEngine
+from repro.exceptions import OptionsError
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.specs import make_spec, workload_ref
+from repro.graph.generators import erdos_renyi_gnm
+from repro.poolexec import (
+    EphemeralPoolProvider,
+    PersistentPoolProvider,
+    SegmentSlice,
+    SharedWorkerPool,
+    provider_for,
+    publish_edges,
+    resolve_edges,
+    segment_stats,
+)
+from repro.poolexec.pool import shared_pool
+from repro.poolexec.segments import SEGMENT_PREFIX, attached_edges
+from repro.resilience import FaultPlan, FaultRule
+
+PARAMS = MachineParams(memory_words=64, block_words=8)
+
+
+@contextmanager
+def watchdog(seconds: float):
+    """Fail the test (instead of hanging the suite) after ``seconds``."""
+
+    def alarm(signum, frame):
+        raise TimeoutError(f"watchdog: test exceeded {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def owned_segment_files() -> list[str]:
+    """``/dev/shm`` entries published by *this* process (by name prefix)."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux host
+        pytest.skip("no /dev/shm on this platform")
+    return sorted(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}-{os.getpid()}-*"))
+
+
+def make_engine(seed: int = 3) -> TriangleEngine:
+    graph = erdos_renyi_gnm(60, 240, seed=seed)
+    return TriangleEngine(graph, params=PARAMS)
+
+
+# ----------------------------------------------------------------------
+# segments: publish / attach / dedup / unlink
+# ----------------------------------------------------------------------
+class TestSegments:
+    def test_publish_empty_returns_none(self):
+        assert publish_edges([]) is None
+
+    def test_round_trip_through_shared_memory(self):
+        edges = [(1, 2), (2, 3), (1, 3), (7, 9)]
+        handle = publish_edges(edges)
+        try:
+            assert handle.length == len(edges)
+            assert attached_edges(handle.ref()) == edges
+            assert resolve_edges(handle.slice(1, 3)) == edges[1:3]
+            assert resolve_edges(edges) == edges  # inline fallback
+        finally:
+            handle.close()
+        assert handle.closed
+
+    def test_slice_bounds_are_checked(self):
+        handle = publish_edges([(1, 2), (3, 4)])
+        try:
+            piece = handle.slice(0, 2)
+            assert isinstance(piece, SegmentSlice) and len(piece) == 2
+            with pytest.raises(ValueError, match="out of bounds"):
+                handle.slice(0, 3)
+            with pytest.raises(ValueError, match="out of bounds"):
+                handle.slice(-1, 1)
+        finally:
+            handle.close()
+
+    def test_publish_is_deduplicated_by_content(self):
+        edges = [(5, 6), (6, 7), (5, 7)]
+        before = segment_stats()
+        first = publish_edges(edges)
+        second = publish_edges(list(edges))  # same content, fresh object
+        try:
+            assert second is first
+            after = segment_stats()
+            assert after["published_segments"] == before["published_segments"] + 1
+            assert after["deduplicated_publishes"] == before["deduplicated_publishes"] + 1
+        finally:
+            # Two holders: the first close must keep the segment alive.
+            first.close()
+            assert not first.closed
+            second.close()
+        assert first.closed
+
+    def test_unlink_removes_the_shm_file(self):
+        files_before = set(owned_segment_files())
+        handle = publish_edges([(11, 12), (12, 13)])
+        created = set(owned_segment_files()) - files_before
+        assert len(created) == 1
+        handle.close()
+        assert set(owned_segment_files()) == files_before
+
+    def test_close_is_idempotent_past_zero(self):
+        handle = publish_edges([(21, 22)])
+        handle.close()
+        handle.close()  # double teardown: no-op, no error
+        assert handle.closed
+
+
+# ----------------------------------------------------------------------
+# pool providers: idempotent teardown (the double-terminate regression)
+# ----------------------------------------------------------------------
+class TestPoolProviders:
+    def test_provider_for_selects_the_strategy(self):
+        assert isinstance(provider_for("spawn", 2), EphemeralPoolProvider)
+        assert isinstance(provider_for("persistent", 2), PersistentPoolProvider)
+        with pytest.raises(ValueError, match="unknown pool strategy"):
+            provider_for("bogus", 2)
+
+    def test_ephemeral_release_is_idempotent(self):
+        provider = EphemeralPoolProvider(2)
+        with watchdog(120):
+            lease = provider.lease()
+            assert lease.pool is not None and not lease.persistent
+            provider.release(lease)
+            assert lease.pool is None and lease.started_queue is None
+            # The historical crash: supervisor ``finally`` + an outer
+            # teardown both releasing the same reaped pool.
+            provider.release(lease)
+            provider.invalidate(lease)
+
+    def test_persistent_release_keeps_the_pool_warm(self):
+        shared = SharedWorkerPool()
+        provider = PersistentPoolProvider(2, shared=shared)
+        try:
+            with watchdog(120):
+                lease = provider.lease()
+                assert lease.persistent
+                pids = shared.worker_pids()
+                assert len(pids) == 2
+                provider.release(lease)
+                provider.release(lease)  # idempotent
+                # Released, not terminated: same workers on the next lease.
+                assert shared.worker_pids() == pids
+                # Invalidating an already-released lease must NOT rebuild.
+                provider.invalidate(lease)
+                assert shared.worker_pids() == pids
+        finally:
+            shared.shutdown()
+            shared.shutdown()  # idempotent
+        assert shared.size == 0 and shared.worker_pids() == []
+
+    def test_persistent_invalidate_rebuilds_the_pool(self):
+        shared = SharedWorkerPool()
+        provider = PersistentPoolProvider(2, shared=shared)
+        try:
+            with watchdog(120):
+                lease = provider.lease()
+                pids = shared.worker_pids()
+                provider.invalidate(lease)
+                assert lease.pool is None
+                rebuilt = shared.worker_pids()
+                assert rebuilt and set(rebuilt).isdisjoint(pids)
+                # A second invalidate of the same lease is a no-op.
+                provider.invalidate(lease)
+                assert shared.worker_pids() == rebuilt
+        finally:
+            shared.shutdown()
+
+    def test_runner_rejects_unknown_pool(self):
+        with pytest.raises(ValueError, match="pool must be one of"):
+            ParallelRunner(pool="bogus")
+
+    def test_engine_rejects_unknown_pool(self):
+        engine = make_engine()
+        with pytest.raises(OptionsError, match="pool"):
+            engine.run("cache_aware", seed=1, shards=2, jobs=2, pool="bogus")
+        with pytest.raises(OptionsError, match="requires shards"):
+            engine.run("cache_aware", seed=1, pool="persistent")
+
+
+# ----------------------------------------------------------------------
+# engine lifecycle: segment ownership, zero re-transfer, warm workers
+# ----------------------------------------------------------------------
+class TestEngineLifecycle:
+    def test_engine_close_unlinks_its_segments(self):
+        files_before = set(owned_segment_files())
+        engine = make_engine()
+        with watchdog(300):
+            result = engine.run("cache_aware", seed=1, shards=2, jobs=2)
+        assert result.triangle_count > 0
+        # The run published at least one segment, retained by the engine.
+        assert set(owned_segment_files()) - files_before
+        engine.close()
+        assert set(owned_segment_files()) == files_before
+        engine.close()  # idempotent
+
+    def test_engine_context_manager_closes(self):
+        files_before = set(owned_segment_files())
+        with watchdog(300):
+            with make_engine() as engine:
+                engine.run("cache_aware", seed=1, shards=2, jobs=2)
+        assert set(owned_segment_files()) == files_before
+
+    def test_repeated_runs_transfer_nothing(self):
+        engine = make_engine()
+        try:
+            with watchdog(300):
+                first = engine.run("cache_aware", seed=1, shards=2, jobs=2, collect=True)
+                stats_after_first = segment_stats()
+                second = engine.run("cache_aware", seed=1, shards=2, jobs=2, collect=True)
+            stats_after_second = segment_stats()
+            # Bit-identical results...
+            assert second.io == first.io
+            assert second.triangles == first.triangles
+            # ...and zero new bytes published: the second run deduplicated
+            # against the segment the engine kept warm.
+            assert (
+                stats_after_second["published_segments"]
+                == stats_after_first["published_segments"]
+            )
+            assert (
+                stats_after_second["published_bytes"]
+                == stats_after_first["published_bytes"]
+            )
+            assert (
+                stats_after_second["deduplicated_publishes"]
+                > stats_after_first["deduplicated_publishes"]
+            )
+        finally:
+            engine.close()
+
+    def test_persistent_pool_reuses_workers_across_runs(self):
+        engine = make_engine()
+        try:
+            with watchdog(300):
+                engine.run("cache_aware", seed=1, shards=2, jobs=2, pool="persistent")
+                pids_first = shared_pool().worker_pids()
+                engine.run("cache_aware", seed=2, shards=2, jobs=2, pool="persistent")
+                pids_second = shared_pool().worker_pids()
+            assert pids_first and pids_first == pids_second
+        finally:
+            engine.close()
+
+    def test_spawn_pool_leaves_no_children_behind(self):
+        engine = make_engine()
+        persistent = set(shared_pool().worker_pids())
+        try:
+            with watchdog(300):
+                result = engine.run("cache_aware", seed=1, shards=2, jobs=2, pool="spawn")
+            assert result.triangle_count > 0
+            leftover = {
+                child.pid for child in multiprocessing.active_children()
+            } - persistent
+            assert not leftover, f"spawn pool leaked workers: {leftover}"
+        finally:
+            engine.close()
+
+    def test_orchestrator_runs_share_the_persistent_pool(self):
+        specs = [
+            make_spec(
+                "edges",
+                workload=workload_ref("sparse_random", num_edges=60),
+                algorithm="hu_tao_chung",
+                memory=64,
+                block=8,
+                seed=seed,
+            )
+            for seed in (1, 2, 3)
+        ]
+        runner = ParallelRunner(store=None, jobs=2, pool="persistent")
+        with watchdog(300):
+            first = runner.run(specs)
+            pids_first = shared_pool().worker_pids()
+            second = runner.run(specs)
+            pids_second = shared_pool().worker_pids()
+        assert len(first) == len(second) == len(specs)
+        assert not first.errors and not second.errors
+        assert pids_first and pids_first == pids_second
+
+
+# ----------------------------------------------------------------------
+# faults: crashed persistent workers, bit-identical recovery
+# ----------------------------------------------------------------------
+class TestPersistentPoolUnderFaults:
+    def test_faulted_persistent_run_matches_serial_bit_for_bit(self):
+        files_before = set(owned_segment_files())
+        engine = make_engine()
+        try:
+            serial = engine.run(
+                "cache_aware", seed=1, options={"num_colors": 2}, collect=True
+            )
+            plan = FaultPlan(
+                rules=(FaultRule(kind="crash", match="shard:*", rate=0.5, seed=3),)
+            )
+            faulted = [k for k in (f"shard:{i}" for i in range(8)) if plan.rule_for(k, 0)]
+            assert len(faulted) >= 2, "plan must actually crash some shards"
+            with watchdog(300), plan.activate():
+                sharded = engine.run(
+                    "cache_aware", seed=1, shards=2, jobs=2, collect=True,
+                    pool="persistent",
+                )
+            assert sharded.io == serial.io
+            assert sharded.phases == serial.phases
+            assert sharded.triangles == serial.triangles
+            # The crashes did not tear down the warm pool or its segments.
+            assert shared_pool().size >= 2
+            assert set(owned_segment_files()) - files_before
+        finally:
+            engine.close()
+        assert (
+            set(owned_segment_files()) == files_before
+        ), "worker crashes must not leak coordinator segments"
+
+
+# ----------------------------------------------------------------------
+# whole-process hygiene: no /dev/shm leak, no resource_tracker noise
+# ----------------------------------------------------------------------
+SUBPROCESS_SCRIPT = textwrap.dedent(
+    """
+    import glob, os, sys
+
+    from repro.analysis.model import MachineParams
+    from repro.core.engine import TriangleEngine
+    from repro.graph.generators import erdos_renyi_gnm
+    from repro.poolexec.segments import SEGMENT_PREFIX
+
+    graph = erdos_renyi_gnm(60, 240, seed=3)
+    engine = TriangleEngine(graph, params=MachineParams(memory_words=64, block_words=8))
+    first = engine.run("cache_aware", seed=1, shards=2, jobs=2)
+    second = engine.run("cache_aware", seed=1, shards=2, jobs=2)
+    assert first.io == second.io
+    engine.close()
+    pattern = f"/dev/shm/{SEGMENT_PREFIX}-{os.getpid()}-*"
+    leaked = glob.glob(pattern)
+    assert not leaked, f"leaked segments: {leaked}"
+    print("CLEAN-EXIT")
+    """
+)
+
+
+def test_full_run_leaves_no_shm_entry_and_no_tracker_warning():
+    """End to end, warnings-as-errors: a sharded run in a fresh interpreter
+    exits clean -- no leaked ``/dev/shm`` entry, no resource_tracker
+    complaint about shared_memory objects on stderr."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux host
+        pytest.skip("no /dev/shm on this platform")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH")) if p
+    )
+    completed = subprocess.run(
+        [sys.executable, "-W", "error::UserWarning", "-c", SUBPROCESS_SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=os.getcwd(),
+    )
+    assert completed.returncode == 0, (
+        f"subprocess failed\nstdout: {completed.stdout}\nstderr: {completed.stderr}"
+    )
+    assert "CLEAN-EXIT" in completed.stdout
+    assert "resource_tracker" not in completed.stderr, completed.stderr
+    assert "leaked" not in completed.stderr, completed.stderr

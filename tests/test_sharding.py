@@ -2,11 +2,11 @@
 
 The contract under test, per execution mode:
 
-* ``triples`` (cache_aware): a sharded run *is* the serial run with its
-  colour-triple phase distributed -- aggregated counters, phase
-  attribution, triangle list (including order) and disk peak are
-  bit-identical to ``cache_aware`` with ``num_colors=shards``, for any job
-  count and any shard completion order.
+* ``triples`` (cache_aware, deterministic): a sharded run *is* the serial
+  run with its high-degree and colour-triple phases distributed --
+  aggregated counters, phase attribution, triangle list (including order)
+  and disk peak are bit-identical to the serial run with
+  ``num_colors=shards``, for any job count and any shard completion order.
 * ``subgraph`` (every other machine algorithm): the triangle set is
   identical to the serial run (each triangle emitted by exactly one shard,
   enforced through a DedupCheckingSink), aggregated counters are
@@ -36,7 +36,7 @@ from repro.graph.generators import clique, erdos_renyi_gnm, planted_triangles
 SMALL_PARAMS = MachineParams(memory_words=64, block_words=8)
 
 #: Machine-kind algorithms that shard through the generic subgraph mode.
-SUBGRAPH_ALGORITHMS = ["deterministic", "hu_tao_chung", "dementiev", "bnlj"]
+SUBGRAPH_ALGORITHMS = ["hu_tao_chung", "dementiev", "bnlj"]
 
 
 def make_engine(graph_seed: int = 3, edges: int = 240) -> TriangleEngine:
@@ -91,15 +91,47 @@ class TestTriplesModeParity:
         assert meta.num_shards == len(meta.shard_seconds) == len(meta.shard_triples)
         assert engine.run("cache_aware", seed=1).sharding is None
 
-    def test_high_degree_triangles_survive_sharding(self):
-        # A clique drives every vertex over the degree threshold on a tiny
-        # machine, exercising the coordinator-side high-degree phase.
+    def test_clique_triangles_survive_sharding(self):
         engine = TriangleEngine(clique(12), params=SMALL_PARAMS)
         serial = engine.run("cache_aware", seed=1, options={"num_colors": 2}, collect=True)
         sharded = engine.run("cache_aware", seed=1, shards=2, collect=True)
         assert serial.triangle_count == math.comb(12, 3)
         assert sharded.triangles == serial.triangles
         assert sharded.io == serial.io
+
+    def test_high_degree_triangles_survive_sharding(self):
+        # Two hubs joined to every leaf (and to each other) cross the
+        # sqrt(E*M) degree threshold, exercising the distributed Lemma 1
+        # high-degree phase -- including the processed-prefix exclusion
+        # that keeps each hub-hub-leaf triangle unique.
+        leaves = list(range(2, 151))
+        edges = [(0, 1)] + [(0, leaf) for leaf in leaves] + [(1, leaf) for leaf in leaves]
+        engine = TriangleEngine(edges, params=SMALL_PARAMS)
+        serial = engine.run("cache_aware", seed=1, options={"num_colors": 2}, collect=True)
+        sharded = engine.run("cache_aware", seed=1, shards=2, collect=True)
+        assert len(serial.report.high_degree_vertices) == 2  # the premise
+        assert serial.triangle_count == len(leaves)
+        assert sharded.triangles == serial.triangles
+        assert sharded.io == serial.io
+        # One per-vertex task per high-degree vertex, timed separately from
+        # the colour-triple shards.
+        assert sharded.sharding.hd_tasks == len(sharded.report.high_degree_vertices) > 0
+        assert len(sharded.sharding.hd_seconds) == sharded.sharding.hd_tasks
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_deterministic_sharded_is_bit_identical_to_serial(self, shards):
+        # The deterministic algorithm shards through the same triples-mode
+        # executors (its greedy colouring stays on the coordinator), so its
+        # sharded counters reproduce the serial run with the same colour
+        # count bit for bit.
+        engine = make_engine()
+        serial = engine.run("deterministic", options={"num_colors": shards}, collect=True)
+        sharded = engine.run("deterministic", shards=shards, collect=True)
+        assert sharded.io == serial.io
+        assert sharded.phases == serial.phases
+        assert sharded.triangles == serial.triangles
+        assert sharded.disk_peak_words == serial.disk_peak_words
+        assert sharded.sharding.mode == "triples"
 
 
 class TestSubgraphModeParity:
