@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the everyday uses of the library:
+Eight subcommands cover the everyday uses of the library:
 
 ``repro enumerate GRAPH``
     Enumerate the triangles of an edge-list file on a simulated machine and
@@ -28,6 +28,17 @@ Six subcommands cover the everyday uses of the library:
 ``repro experiments ...``
     Forwarded to :mod:`repro.experiments.run_all` (the parallel experiment
     orchestrator; supports ``--jobs N`` and the ``results/`` artifact store).
+
+``repro serve``
+    Run the triangle-analytics HTTP service (:mod:`repro.service`):
+    register graphs, submit count/enum jobs, follow them over SSE, page
+    through stored triangles.  SIGTERM/SIGINT drain in-flight jobs and
+    release the persistent worker pool before exiting.
+
+``repro client ...``
+    Talk to a running ``repro serve`` with the bundled zero-dependency
+    client: health, stats, register/count/enum an edge-list file, list and
+    watch jobs.
 
 The simulated machine is configured with ``--memory`` and ``--block``
 (in words, i.e. records); see DESIGN.md for the cost model.
@@ -240,6 +251,79 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiments_parser.add_argument("arguments", nargs=argparse.REMAINDER, help="arguments for run_all")
 
+    serve_parser = subparsers.add_parser("serve", help="run the triangle-analytics HTTP service")
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="port to listen on (0 picks a free port; default 8765)"
+    )
+    serve_parser.add_argument(
+        "--pool",
+        choices=POOL_MODES,
+        default="persistent",
+        help="worker-pool strategy for sharded jobs (default persistent)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="job executor threads (default 4)",
+    )
+    serve_parser.add_argument(
+        "--results",
+        default="results",
+        metavar="DIR",
+        help="artifact store directory; completed jobs persist here and "
+        "answer repeat queries across restarts (default results/)",
+    )
+    serve_parser.add_argument(
+        "--no-store", action="store_true", help="keep results in memory only (no artifact store)"
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+
+    client_parser = subparsers.add_parser("client", help="talk to a running `repro serve`")
+    client_parser.add_argument(
+        "--url",
+        default=None,
+        help="server base URL (default $REPRO_SERVICE_URL or http://127.0.0.1:8765)",
+    )
+    client_parser.add_argument(
+        "--timeout", type=_positive_float, default=30.0, help="HTTP timeout in seconds (default 30)"
+    )
+    client_actions = client_parser.add_subparsers(dest="action", required=True)
+    client_actions.add_parser("health", help="liveness probe")
+    client_actions.add_parser("stats", help="server counters: jobs, cache hits, segments")
+    register_action = client_actions.add_parser("register", help="register an edge-list file")
+    register_action.add_argument("graph", help="path to a whitespace-separated edge-list file")
+    register_action.add_argument("--name", default=None, help="display name for the graph")
+    for mode in ("count", "enum"):
+        action = client_actions.add_parser(
+            mode,
+            help=f"register an edge-list file and run a {mode} query (waits for the result)",
+        )
+        action.add_argument("graph", help="path to a whitespace-separated edge-list file")
+        action.add_argument(
+            "--algorithm", choices=available, default="cache_aware", help=_algorithm_help("cache_aware")
+        )
+        action.add_argument(
+            "--shards", type=_positive_int, default=None, metavar="C", help="colour-shard into C colours"
+        )
+        action.add_argument(
+            "--jobs", type=_positive_int, default=1, metavar="N", help="workers per sharded run"
+        )
+        _add_machine_arguments(action)
+        if mode == "enum":
+            action.add_argument(
+                "--limit", type=_positive_int, default=None, help="triangles per pagination page"
+            )
+    client_actions.add_parser("jobs", help="list jobs (live and stored)")
+    job_action = client_actions.add_parser("job", help="show one job")
+    job_action.add_argument("id", help="job id")
+    watch_action = client_actions.add_parser("watch", help="follow a job's server-sent events")
+    watch_action.add_argument("id", help="job id")
+
     return parser
 
 
@@ -427,6 +511,148 @@ def _command_experiments(arguments: argparse.Namespace) -> int:
     return run_all_main(arguments.arguments)
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    """Run the service until SIGTERM/SIGINT, then shut down gracefully.
+
+    The HTTP loop runs on a background thread while the main thread waits
+    on an event the signal handlers set: calling ``httpd.shutdown()`` from
+    a handler interrupting ``serve_forever`` on the *same* thread would
+    deadlock, so the handler only flags and the main thread does the work.
+    Teardown order: stop accepting, drain in-flight jobs, close every
+    engine (unlinking its shared-memory segments), shut the process-wide
+    persistent worker pool down.
+    """
+    import signal
+    import threading
+
+    from repro.experiments.store import ResultStore
+    from repro.poolexec.pool import shared_pool
+    from repro.service.server import TriangleService
+
+    store = None if arguments.no_store else ResultStore(arguments.results)
+    service = TriangleService(
+        host=arguments.host,
+        port=arguments.port,
+        store=store,
+        pool=arguments.pool,
+        max_workers=arguments.workers,
+        verbose=arguments.verbose,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        print(f"received {signal.Signals(signum).name}; draining and shutting down", flush=True)
+        stop.set()
+
+    previous = {
+        signum: signal.signal(signum, _on_signal) for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    service.start()
+    store_note = "off" if store is None else str(store.root)
+    print(
+        f"listening on {service.url} "
+        f"(pool={arguments.pool}, workers={arguments.workers}, store={store_note})",
+        flush=True,
+    )
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        service.close()
+        shared_pool().shutdown()
+    print("shutdown complete", flush=True)
+    return 0
+
+
+def _print_job(job: dict) -> None:
+    print(f"job {job['id']}: {job['state']} (source={job['source']}, cache_hit={job['cache_hit']})")
+    result = job.get("result")
+    if result:
+        print(f"  triangles: {result.get('triangles')}")
+        if result.get("total_ios") is not None:
+            print(
+                f"  simulated I/Os: {result['total_ios']} "
+                f"(reads {result.get('reads')}, writes {result.get('writes')})"
+            )
+        if result.get("execution_seconds") is not None:
+            print(f"  execution: {result['execution_seconds']}s")
+    if job.get("error"):
+        print(f"  error: {job['error']}")
+
+
+def _command_client(arguments: argparse.Namespace) -> int:
+    import json as json_module
+    import os
+
+    from repro.service.client import DEFAULT_URL, ServiceClient
+    from repro.service.protocol import ServiceError
+
+    url = arguments.url or os.environ.get("REPRO_SERVICE_URL") or DEFAULT_URL
+    client = ServiceClient(url, timeout=arguments.timeout)
+
+    def _register(path: str, name: str | None = None) -> str:
+        graph = read_edge_list(path)
+        response = client.register_graph(edges=list(graph.edges()), name=name)
+        entry = response["graph"]
+        verb = "registered" if response["created"] else "already registered"
+        print(
+            f"{verb} graph {entry['id']} "
+            f"({entry['num_vertices']} vertices, {entry['num_edges']} edges)"
+        )
+        return entry["id"]
+
+    try:
+        if arguments.action == "health":
+            print(json_module.dumps(client.health(), indent=2, sort_keys=True))
+        elif arguments.action == "stats":
+            print(json_module.dumps(client.stats(), indent=2, sort_keys=True))
+        elif arguments.action == "register":
+            _register(arguments.graph, arguments.name)
+        elif arguments.action in ("count", "enum"):
+            graph_id = _register(arguments.graph)
+            response = client.submit(
+                graph_id,
+                mode=arguments.action,
+                algorithm=arguments.algorithm,
+                memory=arguments.memory,
+                block=arguments.block,
+                seed=arguments.seed,
+                shards=arguments.shards,
+                jobs=arguments.jobs,
+            )
+            job = response["job"]
+            if job["state"] != "done":
+                job = client.wait(job["id"])
+            _print_job(job)
+            if arguments.action == "enum":
+                for triangle in client.triangles(job["id"], limit=arguments.limit):
+                    print("\t".join(str(v) for v in triangle))
+        elif arguments.action == "jobs":
+            listing = client.jobs()
+            for job in listing["jobs"]:
+                print(f"{job['id']}  {job['state']:9s}  graph={job['graph']}  hits={job['hits']}")
+            for job in listing["stored"]:
+                print(f"{job['id']}  stored     (from a previous server run)")
+            if not listing["jobs"] and not listing["stored"]:
+                print("no jobs")
+        elif arguments.action == "job":
+            _print_job(client.job(arguments.id))
+        elif arguments.action == "watch":
+            for event, data in client.events(arguments.id):
+                print(f"{event}: {json_module.dumps(data, sort_keys=True)}")
+        else:  # pragma: no cover - argparse enforces the choices
+            raise SystemExit(f"error: unknown client action {arguments.action!r}")
+    except ServiceError as error:
+        raise SystemExit(f"error: {error} (code={error.code})") from None
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; redirect the remaining
+        # flush at interpreter exit to devnull instead of tracebacking.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``repro`` console script."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -445,6 +671,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stats": _command_stats,
         "generate": _command_generate,
         "experiments": _command_experiments,
+        "serve": _command_serve,
+        "client": _command_client,
     }
     return handlers[arguments.command](arguments)
 

@@ -35,9 +35,11 @@ of the ``*.json`` artifact glob.
 
 from __future__ import annotations
 
+import itertools
 import json
 import logging
 import os
+import threading
 from pathlib import Path
 from typing import Any
 
@@ -52,18 +54,27 @@ logger = logging.getLogger(__name__)
 DEFAULT_RESULTS_DIR = "results"
 
 
+#: Per-process counter making concurrent temp names unique: pid alone is not
+#: enough once the service's executor threads write the same spec hash at
+#: the same time (both would open the same temp file and one ``os.replace``
+#: would find it already gone).
+_write_serial = itertools.count()
+
+
 def atomic_write_text(path: str | Path, text: str) -> Path:
     """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
 
     A crash mid-write can never leave a torn file at ``path``: readers see
     either the previous complete content or the new complete content.  The
     temporary lives next to the target (same filesystem, so the replace is
-    atomic) under a name no ``*.json`` glob matches.  Parent directories
-    are created as needed.
+    atomic) under a name unique per process, thread, and call that no
+    ``*.json`` glob matches.  Parent directories are created as needed.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    temporary = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    temporary = path.with_name(
+        f"{path.name}.tmp{os.getpid()}-{threading.get_ident()}-{next(_write_serial)}"
+    )
     try:
         temporary.write_text(text, encoding="utf-8")
         os.replace(temporary, path)
@@ -151,6 +162,37 @@ class ResultStore:
         if not self.root.is_dir():
             return []
         return sorted(self.root.glob("*.json"))
+
+    def list(self) -> list[dict[str, Any]]:
+        """All valid artifacts in the store, sorted by spec hash.
+
+        Sidecar files are skipped, never read as artifacts: ``.failed``
+        failure records, ``.corrupt`` quarantines, in-flight ``.tmp<pid>``
+        temporaries, and any ``*.json`` that is not a ``repro-run/v1``
+        document (e.g. a ``results.json`` suite summary).  This is a pure
+        read -- unlike :meth:`get`, a damaged file is left in place, not
+        quarantined, because no spec asked for it.
+        """
+        artifacts: list[dict[str, Any]] = []
+        if not self.root.is_dir():
+            return artifacts
+        for path in sorted(self.root.iterdir()):
+            if path.suffix != ".json" or not path.is_file():
+                continue
+            try:
+                artifact = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if not isinstance(artifact, dict) or artifact.get("schema") != ARTIFACT_SCHEMA:
+                continue
+            if not isinstance(artifact.get("result"), dict):
+                continue
+            artifacts.append(artifact)
+        return artifacts
+
+    def __iter__(self):
+        """Iterate over valid artifacts (same filtering as :meth:`list`)."""
+        return iter(self.list())
 
     # -- failure records ------------------------------------------------
 

@@ -1,0 +1,14 @@
+"""Triangle analytics as a service: HTTP server, job manager, thin client.
+
+``repro serve`` runs :class:`TriangleService` (a threaded stdlib HTTP
+server over a :class:`JobManager`); ``repro client`` talks to it through
+:class:`ServiceClient`.  See DESIGN.md "Service tier" for the job
+lifecycle, SSE framing, pagination cursors and cache ownership.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobManager
+from repro.service.protocol import ServiceError
+from repro.service.server import TriangleService
+
+__all__ = ["JobManager", "ServiceClient", "ServiceError", "TriangleService"]

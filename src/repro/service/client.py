@@ -1,0 +1,191 @@
+"""Zero-dependency client for the triangle-analytics service.
+
+Pure ``urllib`` -- importable (and useful) in a bare stdlib interpreter,
+the same ethos as the server side.  :class:`ServiceClient` mirrors the
+endpoints one-for-one and layers three conveniences on top:
+
+* :meth:`ServiceClient.wait` polls a job to a terminal state,
+* :meth:`ServiceClient.triangles` walks the cursor pagination for you and
+  yields triangles one by one,
+* :meth:`ServiceClient.events` subscribes to the SSE stream and yields
+  parsed ``(event, data)`` pairs until the job's terminal event.
+
+Errors round-trip: a response carrying the service's JSON error envelope
+is re-raised as the same :class:`~repro.service.protocol.ServiceError`
+(status and code preserved), so client code handles one exception type
+whether the check failed locally or on the server.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterator
+
+from repro.service.protocol import ServiceError, parse_sse
+
+DEFAULT_URL = "http://127.0.0.1:8765"
+
+
+class ServiceClient:
+    """A thin HTTP client bound to one server URL."""
+
+    def __init__(self, base_url: str = DEFAULT_URL, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        *,
+        stream: bool = False,
+        timeout: float | None = None,
+    ) -> Any:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=timeout or self.timeout)
+        except urllib.error.HTTPError as error:
+            raise self._service_error(error) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {error.reason}", status=0, code="unreachable"
+            ) from None
+        if stream:
+            return response
+        with response:
+            return json.loads(response.read())
+
+    @staticmethod
+    def _service_error(error: urllib.error.HTTPError) -> ServiceError:
+        """Rehydrate the server's error envelope; fall back to the raw status."""
+        try:
+            document = json.loads(error.read())
+            envelope = document["error"]
+            return ServiceError(envelope["message"], status=error.code, code=envelope["code"])
+        except (ValueError, KeyError, TypeError):
+            return ServiceError(f"HTTP {error.code}: {error.reason}", status=error.code)
+
+    # -- one call per endpoint ------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def graphs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/v1/graphs")["graphs"]
+
+    def graph(self, graph_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/graphs/{graph_id}")["graph"]
+
+    def drop_graph(self, graph_id: str) -> None:
+        self._request("DELETE", f"/v1/graphs/{graph_id}")
+
+    def register_graph(
+        self,
+        *,
+        edges: list | None = None,
+        workload: list | None = None,
+        name: str | None = None,
+    ) -> dict[str, Any]:
+        """Register an edge list or a workload reference; idempotent."""
+        body: dict[str, Any] = {}
+        if edges is not None:
+            body["edges"] = [list(edge) for edge in edges]
+        if workload is not None:
+            body["workload"] = list(workload)
+        if name is not None:
+            body["name"] = name
+        return self._request("POST", "/v1/graphs", body)
+
+    def submit(self, graph_id: str, **query: Any) -> dict[str, Any]:
+        """Submit a job; returns the response (``job`` + ``created``)."""
+        body = {key: value for key, value in query.items() if value is not None}
+        return self._request("POST", f"/v1/graphs/{graph_id}/jobs", body)
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/jobs")
+
+    # -- conveniences ---------------------------------------------------
+    def wait(self, job_id: str, timeout: float = 120.0, poll: float = 0.05) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its summary.
+
+        Raises :class:`ServiceError` (``job_failed`` / ``wait_timeout``)
+        rather than returning a failed or unfinished job, so callers can
+        use the result unconditionally.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] == "done":
+                return job
+            if job["state"] in ("failed", "cancelled"):
+                raise ServiceError(
+                    f"job {job_id} {job['state']}: {job.get('error')}",
+                    status=500,
+                    code="job_failed",
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['state']} after {timeout}s",
+                    status=0,
+                    code="wait_timeout",
+                )
+            time.sleep(poll)
+
+    def count(self, graph_id: str, **query: Any) -> dict[str, Any]:
+        """Submit a count query and wait for it; returns the finished job."""
+        query.setdefault("mode", "count")
+        job = self.submit(graph_id, **query)["job"]
+        if job["state"] == "done":
+            return job
+        return self.wait(job["id"])
+
+    def triangles(
+        self, job_id: str, *, limit: int | None = None
+    ) -> Iterator[tuple[Any, Any, Any]]:
+        """Yield every stored triangle of a finished enum job, page by page."""
+        cursor: str | None = None
+        while True:
+            path = f"/v1/jobs/{job_id}/triangles"
+            params = []
+            if limit is not None:
+                params.append(f"limit={limit}")
+            if cursor is not None:
+                params.append(f"cursor={cursor}")
+            if params:
+                path += "?" + "&".join(params)
+            page = self._request("GET", path)
+            for triangle in page["triangles"]:
+                yield tuple(triangle)
+            cursor = page["next_cursor"]
+            if cursor is None:
+                return
+
+    def events(
+        self, job_id: str, *, after: int | None = None, timeout: float = 300.0
+    ) -> Iterator[tuple[str, Any]]:
+        """Follow a job's SSE stream; yields ``(event, data)`` until terminal."""
+        path = f"/v1/jobs/{job_id}/events"
+        if after is not None:
+            path += f"?after={after}"
+        response = self._request("GET", path, stream=True, timeout=timeout)
+        with response:
+            for event, _event_id, data in parse_sse(response):
+                yield event, data
+                if event in ("done", "error"):
+                    return

@@ -1,0 +1,656 @@
+"""Graphs, jobs and the :class:`JobManager` behind the service endpoints.
+
+The manager is the service's model layer, independent of HTTP:
+
+* **Graphs** are registered once and content-addressed: the canonical JSON
+  of the registration payload (an explicit edge list, or a ``[factory,
+  kwargs]`` reference into the experiment workload registry) hashes to the
+  graph id, so registering the same graph twice returns the same entry and
+  re-canonicalises nothing.  Each entry owns one
+  :class:`~repro.core.engine.TriangleEngine` -- the graph is canonicalised
+  at registration and every job on it shares the engine's substrate cache
+  (packed CSR, published shared-memory segments), which is what makes
+  repeated queries near-free.
+* **Jobs** are content-addressed too, by the :class:`RunSpec` hashing the
+  experiment orchestrator already uses (task ``"service"``): the job id is
+  the spec hash of ``(graph, algorithm, mode, memory, block, seed, shards,
+  options)``.  Submitting a query that already ran returns the finished
+  job from the in-process memo; across server restarts the
+  :class:`~repro.experiments.store.ResultStore` artifact answers it
+  (``jobs=...`` is deliberately *not* part of the address: sharded results
+  are bit-identical for any worker count, so queries differing only in
+  parallelism share one cache line).
+* **Execution** happens on a bounded thread pool.  Jobs on the same graph
+  serialise on the entry lock (engine runs share mutable substrate-cache
+  state); sharded jobs additionally serialise process-wide, because
+  concurrent supervised maps must not interleave on the shared persistent
+  worker pool's started-message queue.  Enumeration jobs run through
+  ``engine.stream()`` and publish per-batch progress events, which is what
+  the server's SSE endpoint replays.
+
+Every mutation of a job appends to its event log and wakes waiters on its
+condition variable, so any number of SSE subscribers can follow one job
+without polling the manager.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor, wait as futures_wait
+from typing import Any, Iterable, Mapping
+
+from repro.analysis.model import MachineParams
+from repro.core.engine import TriangleEngine
+from repro.core.registry import get_algorithm
+from repro.exceptions import ReproError
+from repro.experiments.specs import RunSpec, canonical_json, make_spec
+from repro.experiments.store import ResultStore
+from repro.experiments.workloads import build_workload
+from repro.graph.graph import Graph
+from repro.poolexec import POOL_MODES
+from repro.service.protocol import (
+    JOB_MODES,
+    ServiceError,
+    as_int,
+    not_found,
+    require_mapping,
+)
+
+#: Task name of every service artifact in the result store.
+SERVICE_TASK = "service"
+
+#: How many triangles an enumeration job accumulates between progress events.
+PROGRESS_BATCH = 2048
+
+#: Default width of the job executor thread pool.
+DEFAULT_MAX_WORKERS = 4
+
+
+def _now() -> float:
+    return time.time()
+
+
+# ----------------------------------------------------------------------
+# graph registration
+# ----------------------------------------------------------------------
+def normalize_graph_payload(body: Any) -> tuple[dict[str, Any], str]:
+    """Validate a graph-registration body; return ``(normalized, graph_id)``.
+
+    Two shapes are accepted: ``{"edges": [[u, v], ...]}`` (labels are ints
+    or strings) and ``{"workload": [factory, kwargs]}`` referencing the
+    experiment workload registry.  The graph id is the spec hash of the
+    normalized payload -- the same content addressing the artifact store
+    uses -- so identical registrations collapse to one graph.
+    """
+    body = require_mapping(body, "graph registration body")
+    edges = body.get("edges")
+    workload = body.get("workload")
+    if (edges is None) == (workload is None):
+        raise ServiceError("provide exactly one of 'edges' or 'workload'")
+    name = body.get("name")
+    if name is not None and not isinstance(name, str):
+        raise ServiceError("'name' must be a string")
+    if edges is not None:
+        if not isinstance(edges, (list, tuple)):
+            raise ServiceError("'edges' must be a list of [u, v] pairs")
+        cleaned: list[list[Any]] = []
+        for index, pair in enumerate(edges):
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise ServiceError(f"edge #{index} is not a [u, v] pair: {pair!r}")
+            u, v = pair
+            for label in (u, v):
+                if isinstance(label, bool) or not isinstance(label, (int, str)):
+                    raise ServiceError(
+                        f"edge #{index} has a non-int/str label: {label!r}"
+                    )
+            cleaned.append([u, v])
+        normalized: dict[str, Any] = {"edges": cleaned}
+    else:
+        if (
+            not isinstance(workload, (list, tuple))
+            or len(workload) != 2
+            or not isinstance(workload[0], str)
+        ):
+            raise ServiceError("'workload' must be a [factory_name, kwargs] pair")
+        factory, kwargs = workload
+        normalized = {"workload": [factory, dict(require_mapping(kwargs, "workload kwargs"))]}
+    # The id hashes the *content* only -- the display name is a label, so
+    # registering the same edges under two names is still one graph.
+    graph_id = make_spec("graph", **normalized).spec_hash
+    if name:
+        normalized["name"] = name
+    return normalized, graph_id
+
+
+class GraphEntry:
+    """One registered graph: its engine, lock and bookkeeping."""
+
+    def __init__(self, graph_id: str, payload: dict[str, Any]) -> None:
+        self.graph_id = graph_id
+        self.payload = payload
+        self.created_at = _now()
+        #: Serialises engine runs on this graph (the engine's substrate
+        #: cache is shared mutable state across runs).
+        self.lock = threading.Lock()
+        self.job_ids: list[str] = []
+        if "edges" in payload:
+            self.source = "edges"
+            graph = Graph.from_edge_list(tuple(edge) for edge in payload["edges"])
+            self.name = payload.get("name") or f"edges-{graph_id}"
+        else:
+            self.source = "workload"
+            built = build_workload(payload["workload"])
+            graph = built.graph
+            self.name = payload.get("name") or built.name
+        self.engine = TriangleEngine(graph)
+        self.num_vertices = graph.num_vertices
+        self.num_edges = self.engine.num_edges
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "id": self.graph_id,
+            "name": self.name,
+            "source": self.source,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "created_at": self.created_at,
+            "jobs": len(self.job_ids),
+        }
+
+
+# ----------------------------------------------------------------------
+# job queries
+# ----------------------------------------------------------------------
+def normalize_query(body: Any) -> dict[str, Any]:
+    """Validate a job-submission body into the canonical query document.
+
+    Algorithm names resolve through the registry, algorithm options are
+    validated against the spec's typed options dataclass and sharding knobs
+    against :meth:`AlgorithmSpec.resolve_sharding` -- a bad query is a 400
+    at submission time, never a failed job.
+    """
+    body = require_mapping(body, "job submission body") if body else {}
+    unknown = set(body) - {
+        "algorithm",
+        "mode",
+        "memory",
+        "block",
+        "seed",
+        "shards",
+        "jobs",
+        "options",
+    }
+    if unknown:
+        raise ServiceError(f"unknown job field(s): {', '.join(sorted(unknown))}")
+    algorithm = body.get("algorithm", "cache_aware")
+    if not isinstance(algorithm, str):
+        raise ServiceError("'algorithm' must be a string")
+    mode = body.get("mode", "count")
+    if mode not in JOB_MODES:
+        raise ServiceError(f"'mode' must be one of {JOB_MODES}, got {mode!r}")
+    memory = as_int(body.get("memory"), "memory", default=512, minimum=1)
+    block = as_int(body.get("block"), "block", default=16, minimum=1)
+    seed = as_int(body.get("seed"), "seed", default=0)
+    shards = as_int(body.get("shards"), "shards", default=None, minimum=1)
+    jobs = as_int(body.get("jobs"), "jobs", default=1, minimum=1)
+    options = body.get("options") or {}
+    options = dict(require_mapping(options, "'options'"))
+    try:
+        MachineParams(memory_words=memory, block_words=block)
+        spec = get_algorithm(algorithm)
+        spec.resolve_options(options or None, None)
+        spec.resolve_sharding(shards, jobs)
+    except ReproError as error:
+        raise ServiceError(str(error)) from error
+    return {
+        "algorithm": algorithm,
+        "mode": mode,
+        "memory": memory,
+        "block": block,
+        "seed": seed,
+        "shards": shards,
+        "jobs": jobs,
+        "options": options,
+    }
+
+
+def query_spec(graph_id: str, query: Mapping[str, Any]) -> RunSpec:
+    """The content address of a query: graph plus everything result-affecting.
+
+    ``jobs`` is excluded on purpose -- sharded execution is bit-identical
+    for any worker count, so the same query at different parallelism must
+    hit the same cache line.
+    """
+    return make_spec(
+        SERVICE_TASK,
+        graph=graph_id,
+        algorithm=query["algorithm"],
+        mode=query["mode"],
+        memory=query["memory"],
+        block=query["block"],
+        seed=query["seed"],
+        shards=query["shards"],
+        options=query["options"],
+    )
+
+
+class Job:
+    """One submitted query: state machine, result, event log."""
+
+    def __init__(self, job_id: str, graph_id: str, query: dict[str, Any]) -> None:
+        self.id = job_id
+        self.graph_id = graph_id
+        self.query = query
+        self.state = "queued"
+        self.created_at = _now()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.result: dict[str, Any] | None = None
+        self.error: str | None = None
+        #: Where the answer came from: ``executed`` (this process ran it),
+        #: ``store`` (a previous process persisted it).
+        self.source = "executed"
+        #: True once at least one submission was answered without executing.
+        self.cache_hit = False
+        #: Times this query was re-submitted after the job already existed.
+        self.hits = 0
+        self.triangles: list[tuple[Any, Any, Any]] | None = None
+        self._condition = threading.Condition()
+        self._events: list[tuple[str, dict[str, Any]]] = []
+        self.emit("status", {"state": self.state})
+
+    # -- event log ------------------------------------------------------
+    def emit(self, event: str, data: dict[str, Any]) -> None:
+        with self._condition:
+            self._events.append((event, data))
+            self._condition.notify_all()
+
+    def events_since(self, index: int, timeout: float) -> list[tuple[int, str, dict[str, Any]]]:
+        """Events from ``index`` on, blocking up to ``timeout`` for news.
+
+        Returns ``(event_index, event, data)`` triples; an empty list means
+        the wait timed out (SSE subscribers send a heartbeat and retry).
+        """
+        with self._condition:
+            if index >= len(self._events):
+                self._condition.wait(timeout)
+            new = self._events[index:]
+        return [(index + i, event, data) for i, (event, data) in enumerate(new)]
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+    @property
+    def event_count(self) -> int:
+        with self._condition:
+            return len(self._events)
+
+    # -- transitions ----------------------------------------------------
+    def mark_running(self) -> None:
+        self.state = "running"
+        self.started_at = _now()
+        self.emit("status", {"state": self.state})
+
+    def finish(
+        self,
+        result: dict[str, Any],
+        triangles: list[tuple[Any, Any, Any]] | None = None,
+        source: str = "executed",
+    ) -> None:
+        self.result = result
+        self.triangles = triangles
+        self.source = source
+        self.state = "done"
+        self.finished_at = _now()
+        self.emit("done", self.summary())
+
+    def fail(self, message: str, state: str = "failed") -> None:
+        self.error = message
+        self.state = state
+        self.finished_at = _now()
+        self.emit("error", {"state": state, "message": message})
+
+    # -- serialisation --------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """The compact job document every endpoint returns."""
+        document: dict[str, Any] = {
+            "id": self.id,
+            "graph": self.graph_id,
+            "state": self.state,
+            "query": self.query,
+            "source": self.source,
+            "cache_hit": self.cache_hit,
+            "hits": self.hits,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.result is not None:
+            document["result"] = {
+                key: value for key, value in self.result.items() if key != "triangle_list"
+            }
+            if self.triangles is not None:
+                document["result"]["num_stored_triangles"] = len(self.triangles)
+        if self.error is not None:
+            document["error"] = self.error
+        return document
+
+
+# ----------------------------------------------------------------------
+# the manager
+# ----------------------------------------------------------------------
+class JobManager:
+    """Registered graphs, submitted jobs, and the executor that runs them.
+
+    Parameters
+    ----------
+    store:
+        The artifact store completed jobs persist to (and are resumed
+        from).  ``None`` keeps everything in memory.
+    pool:
+        Worker-pool strategy handed to sharded engine runs (``persistent``
+        leases the process-wide warm pool, ``spawn`` starts fresh).
+    max_workers:
+        Width of the job thread pool.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        pool: str = "persistent",
+        max_workers: int = DEFAULT_MAX_WORKERS,
+    ) -> None:
+        if pool not in POOL_MODES:
+            raise ValueError(f"pool must be one of {POOL_MODES}, got {pool!r}")
+        self.store = store
+        self.pool = pool
+        self._graphs: dict[str, GraphEntry] = {}
+        self._jobs: dict[str, Job] = {}
+        self._futures: dict[str, Future] = {}
+        self._lock = threading.Lock()
+        #: Concurrent supervised maps must not share the persistent pool's
+        #: started-message queue; sharded jobs serialise on this.
+        self._sharded_lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-job"
+        )
+        self._closed = False
+        self.counters = {
+            "graphs_registered": 0,
+            "jobs_submitted": 0,
+            "jobs_executed": 0,
+            "jobs_failed": 0,
+            "cache_hits_memo": 0,
+            "cache_hits_store": 0,
+        }
+
+    # -- graphs ---------------------------------------------------------
+    def register_graph(self, body: Any) -> tuple[GraphEntry, bool]:
+        """Register (or look up) a graph; returns ``(entry, created)``."""
+        payload, graph_id = normalize_graph_payload(body)
+        with self._lock:
+            existing = self._graphs.get(graph_id)
+            if existing is not None:
+                return existing, False
+        try:
+            entry = GraphEntry(graph_id, payload)
+        except ServiceError:
+            raise
+        except (ReproError, KeyError, TypeError, ValueError) as error:
+            raise ServiceError(f"graph rejected: {error}") from error
+        with self._lock:
+            raced = self._graphs.get(graph_id)
+            if raced is not None:
+                return raced, False
+            self._graphs[graph_id] = entry
+            self.counters["graphs_registered"] += 1
+        return entry, True
+
+    def graph(self, graph_id: str) -> GraphEntry:
+        with self._lock:
+            entry = self._graphs.get(graph_id)
+        if entry is None:
+            raise not_found("graph", graph_id)
+        return entry
+
+    def graphs(self) -> list[GraphEntry]:
+        with self._lock:
+            return sorted(self._graphs.values(), key=lambda entry: entry.created_at)
+
+    def drop_graph(self, graph_id: str) -> None:
+        """Unregister a graph and release its engine's substrate cache."""
+        with self._lock:
+            entry = self._graphs.pop(graph_id, None)
+        if entry is None:
+            raise not_found("graph", graph_id)
+        with entry.lock:
+            entry.engine.close()
+
+    # -- jobs -----------------------------------------------------------
+    def submit(self, graph_id: str, body: Any) -> tuple[Job, bool]:
+        """Submit a query against a graph; returns ``(job, created)``.
+
+        Identical queries collapse onto one job: a repeat submission while
+        the first is still running simply returns it, and a repeat of a
+        finished job is a pure cache hit.  On a memo miss the artifact
+        store is consulted, so answers survive server restarts.
+        """
+        entry = self.graph(graph_id)
+        query = normalize_query(body)
+        spec = query_spec(graph_id, query)
+        job_id = spec.spec_hash
+        with self._lock:
+            if self._closed:
+                raise ServiceError("server is shutting down", status=503, code="shutting_down")
+            existing = self._jobs.get(job_id)
+            if existing is not None:
+                existing.hits += 1
+                if existing.terminal and existing.state == "done":
+                    existing.cache_hit = True
+                    self.counters["cache_hits_memo"] += 1
+                return existing, False
+            job = Job(job_id, graph_id, query)
+            self._jobs[job_id] = job
+            entry.job_ids.append(job_id)
+            self.counters["jobs_submitted"] += 1
+        stored = self.store.get(spec) if self.store is not None else None
+        if stored is not None:
+            triangles = stored.get("triangle_list")
+            if triangles is not None:
+                triangles = [tuple(triangle) for triangle in triangles]
+            job.cache_hit = True
+            with self._lock:
+                self.counters["cache_hits_store"] += 1
+            job.finish(
+                {key: value for key, value in stored.items() if key != "triangle_list"},
+                triangles,
+                source="store",
+            )
+            return job, True
+        future = self._executor.submit(self._execute, job, entry, spec)
+        with self._lock:
+            self._futures[job_id] = future
+        return job, True
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise not_found("job", job_id)
+        return job
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.created_at)
+
+    # -- execution ------------------------------------------------------
+    def _execute(self, job: Job, entry: GraphEntry, spec: RunSpec) -> None:
+        query = job.query
+        with self._lock:
+            if self._closed:
+                job.fail("server shut down before the job started", state="cancelled")
+                return
+            self.counters["jobs_executed"] += 1
+        job.mark_running()
+        try:
+            params = MachineParams(memory_words=query["memory"], block_words=query["block"])
+            sharded = query["shards"] is not None
+            run_kwargs: dict[str, Any] = {
+                "params": params,
+                "seed": query["seed"],
+                "options": query["options"] or None,
+            }
+            if sharded:
+                run_kwargs.update(
+                    shards=query["shards"], jobs=query["jobs"], pool=self.pool
+                )
+            started = time.perf_counter()
+            if query["mode"] == "count":
+                result, triangles = self._run_count(entry, query["algorithm"], run_kwargs)
+            else:
+                result, triangles = self._run_enum(job, entry, query["algorithm"], run_kwargs)
+            result["execution_seconds"] = round(time.perf_counter() - started, 6)
+            result["algorithm"] = query["algorithm"]
+            result["mode"] = query["mode"]
+            result["graph"] = job.graph_id
+            if self.store is not None:
+                artifact = dict(result)
+                if triangles is not None:
+                    artifact["triangle_list"] = [list(triangle) for triangle in triangles]
+                self.store.put(spec, artifact)
+            job.finish(result, triangles)
+        except Exception as error:  # a failed job is data, not a server crash
+            with self._lock:
+                self.counters["jobs_failed"] += 1
+            job.fail(f"{type(error).__name__}: {error}")
+        finally:
+            with self._lock:
+                self._futures.pop(job.id, None)
+
+    def _run_count(
+        self, entry: GraphEntry, algorithm: str, run_kwargs: dict[str, Any]
+    ) -> tuple[dict[str, Any], None]:
+        """Count-only queries go through ``engine.run`` (counter fast path)."""
+        with self._locks_for(run_kwargs, entry):
+            result = entry.engine.run(algorithm, collect=False, **run_kwargs)
+        return {
+            "triangles": result.triangle_count,
+            "reads": result.io.reads,
+            "writes": result.io.writes,
+            "operations": result.io.operations,
+            "total_ios": result.io.total,
+            "disk_peak_words": result.disk_peak_words,
+        }, None
+
+    def _run_enum(
+        self, job: Job, entry: GraphEntry, algorithm: str, run_kwargs: dict[str, Any]
+    ) -> tuple[dict[str, Any], list[tuple[Any, Any, Any]]]:
+        """Enumeration queries stream batches and publish progress events.
+
+        Unsharded jobs ride ``engine.stream()`` (the algorithm runs on a
+        worker thread, triangles cross a bounded queue in batches);
+        sharded jobs collect through the sharded path, which already
+        merges deterministically.  The stored triangle order is the
+        deterministic serial emission order either way.
+        """
+        triangles: list[tuple[Any, Any, Any]] = []
+        if "shards" in run_kwargs:
+            with self._locks_for(run_kwargs, entry):
+                result = entry.engine.run(algorithm, collect=True, **run_kwargs)
+            triangles = list(result.triangles or [])
+            job.emit("progress", {"triangles": len(triangles)})
+            counters = {
+                "reads": result.io.reads,
+                "writes": result.io.writes,
+                "operations": result.io.operations,
+                "total_ios": result.io.total,
+            }
+        else:
+            stream_kwargs = dict(run_kwargs)
+            options = stream_kwargs.pop("options")
+            with self._locks_for(run_kwargs, entry):
+                for batch in entry.engine.stream(
+                    algorithm, batch_size=PROGRESS_BATCH, options=options, **stream_kwargs
+                ):
+                    triangles.extend(batch)
+                    job.emit("progress", {"triangles": len(triangles)})
+            # The stream path discards the per-run I/O meter (the simulated
+            # counters live on the worker's substrate); counts come from
+            # the triangle list itself.
+            counters = {"reads": None, "writes": None, "operations": None, "total_ios": None}
+        return {"triangles": len(triangles), **counters}, triangles
+
+    def _locks_for(self, run_kwargs: dict[str, Any], entry: GraphEntry):
+        """Entry lock always; the process-wide sharded lock when fanning out."""
+        if "shards" in run_kwargs:
+            return _StackedLocks((self._sharded_lock, entry.lock))
+        return entry.lock
+
+    # -- introspection / lifecycle --------------------------------------
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            counters = dict(self.counters)
+            graphs = len(self._graphs)
+            jobs = len(self._jobs)
+            in_flight = len(self._futures)
+        answered = counters["cache_hits_memo"] + counters["cache_hits_store"]
+        total = counters["jobs_submitted"] + counters["cache_hits_memo"]
+        return {
+            **counters,
+            "graphs": graphs,
+            "jobs": jobs,
+            "jobs_in_flight": in_flight,
+            "cache_hit_rate": round(answered / total, 4) if total else None,
+            "pool": self.pool,
+        }
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for in-flight jobs; returns True when everything finished."""
+        with self._lock:
+            pending = list(self._futures.values())
+        if not pending:
+            return True
+        done, not_done = futures_wait(pending, timeout=timeout)
+        return not not_done
+
+    def close(self, drain_timeout: float | None = 30.0) -> None:
+        """Drain, stop the executor, release engines (and their segments).
+
+        Safe to call twice.  Queued-but-unstarted jobs are cancelled (their
+        state says so); the persistent worker pool itself is owned by the
+        process (:func:`repro.poolexec.pool.shared_pool`), the server
+        shutdown path tears it down explicitly.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.drain(drain_timeout)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        with self._lock:
+            jobs = list(self._jobs.values())
+            entries = list(self._graphs.values())
+        for job in jobs:
+            if not job.terminal and job.state == "queued":
+                job.fail("server shut down before the job started", state="cancelled")
+        for entry in entries:
+            with entry.lock:
+                entry.engine.close()
+
+
+class _StackedLocks:
+    """Context manager acquiring several locks in order (releasing reversed)."""
+
+    def __init__(self, locks: Iterable[threading.Lock]) -> None:
+        self._locks = tuple(locks)
+
+    def __enter__(self) -> "_StackedLocks":
+        for lock in self._locks:
+            lock.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        for lock in reversed(self._locks):
+            lock.release()

@@ -1,0 +1,181 @@
+"""Wire-level vocabulary of the triangle-analytics service.
+
+Everything the HTTP layer and the thin client agree on lives here, so the
+two sides cannot drift apart silently:
+
+* the JSON error envelope (``{"error": {"code", "message"}}``) and the
+  :class:`ServiceError` that maps onto it,
+* opaque pagination cursors (base64url of a tiny JSON document binding the
+  cursor to one job, so a cursor can never be replayed against another
+  job's triangle set -- the ``PaginatedPods``-style cursor/page pattern
+  from SNIPPETS.md, server-driven instead of client-computed offsets),
+* server-sent-event framing (``event:`` / ``id:`` / ``data:`` lines, one
+  JSON document per event; see DESIGN.md "Service tier"),
+* small validation helpers shared by every endpoint.
+
+The module is dependency-free on purpose: the client must stay importable
+in a bare stdlib interpreter.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from typing import Any, Mapping
+
+from repro.exceptions import ReproError
+
+#: Schema tag carried by every JSON response body of the service.
+SERVICE_SCHEMA = "repro-service/v1"
+
+#: Job lifecycle states, in order.  ``queued -> running -> done`` is the
+#: happy path; ``failed`` and ``cancelled`` are terminal error states.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job can no longer leave (SSE streams end on reaching one).
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Query modes a job may run in.
+JOB_MODES = ("count", "enum")
+
+#: Default / maximum page size of the triangle pagination endpoint.
+DEFAULT_PAGE_LIMIT = 500
+MAX_PAGE_LIMIT = 5000
+
+
+class ServiceError(ReproError):
+    """A request the service refuses, carrying its HTTP status and code.
+
+    Raised by the validation and lookup layers of :mod:`repro.service.jobs`
+    and mapped to the JSON error envelope by the server; the client raises
+    it again when a response carries the envelope, so callers on both sides
+    handle one exception type.
+    """
+
+    def __init__(self, message: str, status: int = 400, code: str = "bad_request") -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+    def to_json(self) -> dict[str, Any]:
+        return {"error": {"code": self.code, "message": str(self)}}
+
+
+def not_found(kind: str, identifier: str) -> ServiceError:
+    """The standard 404 for an unknown graph or job identifier."""
+    return ServiceError(f"unknown {kind} {identifier!r}", status=404, code=f"{kind}_not_found")
+
+
+# ----------------------------------------------------------------------
+# pagination cursors
+# ----------------------------------------------------------------------
+def encode_cursor(job_id: str, offset: int) -> str:
+    """An opaque cursor pointing at ``offset`` within ``job_id``'s triangles."""
+    payload = json.dumps({"j": job_id, "o": offset}, sort_keys=True, separators=(",", ":"))
+    return base64.urlsafe_b64encode(payload.encode()).decode().rstrip("=")
+
+
+def decode_cursor(cursor: str, job_id: str) -> int:
+    """The offset a cursor points at, validated against the job it came from.
+
+    Raises :class:`ServiceError` (400) for anything malformed, and for a
+    structurally valid cursor minted for a *different* job -- offsets are
+    only meaningful within one job's stored triangle order.
+    """
+    try:
+        padded = cursor + "=" * (-len(cursor) % 4)
+        payload = json.loads(base64.urlsafe_b64decode(padded.encode()))
+    except (ValueError, binascii.Error):
+        raise ServiceError(f"malformed cursor {cursor!r}", code="bad_cursor") from None
+    if not isinstance(payload, dict):
+        raise ServiceError(f"malformed cursor {cursor!r}", code="bad_cursor")
+    offset = payload.get("o")
+    if payload.get("j") != job_id:
+        raise ServiceError(
+            f"cursor {cursor!r} was issued for job {payload.get('j')!r}, not {job_id!r}",
+            code="bad_cursor",
+        )
+    if not isinstance(offset, int) or isinstance(offset, bool) or offset < 0:
+        raise ServiceError(f"malformed cursor {cursor!r}", code="bad_cursor")
+    return offset
+
+
+# ----------------------------------------------------------------------
+# server-sent events
+# ----------------------------------------------------------------------
+def sse_event(event: str, data: Any, event_id: int | None = None) -> bytes:
+    """One SSE frame: ``event:``/``id:``/``data:`` lines plus the blank line."""
+    lines = [f"event: {event}"]
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append(f"data: {json.dumps(data, sort_keys=True, separators=(',', ':'))}")
+    return ("\n".join(lines) + "\n\n").encode()
+
+
+def parse_sse(lines) -> Any:
+    """Yield ``(event, id, data)`` triples from an iterable of SSE lines.
+
+    ``lines`` may be ``str`` or ``bytes`` (the client hands over the raw
+    response file object).  Comment lines (``:`` prefix, used as
+    heartbeats) are skipped; ``data`` is parsed as JSON.
+    """
+    event: str | None = None
+    event_id: int | None = None
+    data_lines: list[str] = []
+    for raw in lines:
+        line = raw.decode() if isinstance(raw, bytes) else raw
+        line = line.rstrip("\r\n")
+        if line.startswith(":"):
+            continue
+        if line.startswith("event:"):
+            event = line[len("event:") :].strip()
+        elif line.startswith("id:"):
+            try:
+                event_id = int(line[len("id:") :].strip())
+            except ValueError:
+                event_id = None
+        elif line.startswith("data:"):
+            data_lines.append(line[len("data:") :].strip())
+        elif line == "" and event is not None:
+            payload = json.loads("\n".join(data_lines)) if data_lines else None
+            yield event, event_id, payload
+            event, event_id, data_lines = None, None, []
+
+
+# ----------------------------------------------------------------------
+# validation helpers
+# ----------------------------------------------------------------------
+def require_mapping(value: Any, what: str) -> Mapping[str, Any]:
+    """Insist a request body (or sub-document) is a JSON object."""
+    if not isinstance(value, Mapping):
+        raise ServiceError(f"{what} must be a JSON object, got {type(value).__name__}")
+    return value
+
+
+def as_int(
+    value: Any,
+    name: str,
+    default: int | None = None,
+    minimum: int | None = None,
+    maximum: int | None = None,
+) -> int | None:
+    """Validate an integer field (strings accepted for query parameters)."""
+    if value is None:
+        value = default
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise ServiceError(f"{name} must be an integer, got a boolean")
+    if isinstance(value, str):
+        try:
+            value = int(value)
+        except ValueError:
+            raise ServiceError(f"{name} must be an integer, got {value!r}") from None
+    if not isinstance(value, int):
+        raise ServiceError(f"{name} must be an integer, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        raise ServiceError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        value = maximum
+    return value

@@ -115,6 +115,28 @@ class TestResultStore:
         store.path_for(spec).write_text(json.dumps(artifact))
         assert store.get(spec) is None
 
+    def test_list_skips_sidecars_and_foreign_files(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        good = tiny_spec(seed=1)
+        store.put(good, {"triangles": 3})
+        # Every kind of non-artifact neighbour the directory accumulates in
+        # practice: failure sidecars, quarantined corruption, in-flight temp
+        # files, run summaries, and plain junk.
+        store.put_failure(tiny_spec(seed=2), "worker died")
+        (store.root / "deadbeefdeadbeef.json.corrupt").write_text("{ not json")
+        (store.root / "feedfacefeedface.json.tmp123").write_text("in flight")
+        (store.root / "cafecafecafecafe.json").write_text("{ also not json")
+        atomic_write_json(store.root / "results.json", {"summary": True})
+        store.put(good, {"triangles": 3})  # re-put after the litter
+
+        artifacts = store.list()
+        assert [a["spec_hash"] for a in artifacts] == [good.spec_hash]
+        assert artifacts[0]["result"] == {"triangles": 3}
+        assert [a["spec_hash"] for a in store] == [good.spec_hash]
+
+    def test_list_on_missing_directory_is_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "never-created").list() == []
+
     def test_resume_does_zero_new_work(self, tmp_path):
         store = ResultStore(tmp_path / "results")
         specs = [tiny_spec(seed=seed) for seed in (1, 2)]
@@ -160,6 +182,66 @@ class TestAtomicWrites:
         temp_name = path.with_name(f"{path.name}.tmp123").name
         (tmp_path / temp_name).write_text("in flight")
         assert [p.name for p in store.artifact_paths()] == [path.name]
+
+
+class TestConcurrentWriters:
+    """The service answers concurrent clients from one store: many threads
+    may ``put`` the same spec while others ``get`` it.  ``atomic_write_json``
+    (write to ``.tmp<pid>``, then ``os.replace``) is what makes that safe --
+    these tests pin the guarantee."""
+
+    def test_same_spec_hash_never_tears_or_double_writes(self, tmp_path):
+        import threading
+
+        store = ResultStore(tmp_path / "results")
+        spec = tiny_spec()
+        result = {"triangles": 7, "blob": "x" * 4096}  # big enough to tear
+        errors: list[str] = []
+        start = threading.Barrier(12)
+
+        def writer() -> None:
+            start.wait()
+            for _ in range(50):
+                store.put(spec, result)
+
+        def reader() -> None:
+            start.wait()
+            for _ in range(200):
+                seen = store.get(spec)
+                if seen is not None and seen != result:
+                    errors.append(f"torn read: {seen!r}")
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        threads += [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[:3]
+        # Exactly one artifact, intact, and no quarantine or temp litter.
+        names = sorted(p.name for p in store.root.iterdir())
+        assert names == [f"{spec.spec_hash}.json"]
+        assert store.get(spec) == result
+
+    def test_distinct_specs_written_concurrently_all_land(self, tmp_path):
+        import threading
+
+        store = ResultStore(tmp_path / "results")
+        specs = [tiny_spec(seed=seed) for seed in range(16)]
+        start = threading.Barrier(16)
+
+        def writer(spec) -> None:
+            start.wait()
+            store.put(spec, {"seed_echo": spec.payload["seed"]})
+
+        threads = [threading.Thread(target=writer, args=(spec,)) for spec in specs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for spec in specs:
+            assert store.get(spec) == {"seed_echo": spec.payload["seed"]}
+        assert len(store.list()) == 16
 
 
 class TestParallelRunner:
