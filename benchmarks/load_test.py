@@ -45,6 +45,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.analysis.model import MachineParams
 from repro.core.engine import TriangleEngine
 from repro.core.registry import algorithm_specs
+from repro.experiments.store import atomic_write_json
 from repro.experiments.workloads import build_workload
 from repro.graph.files import read_edge_list
 from repro.service.client import ServiceClient
@@ -349,7 +350,7 @@ def main(argv: list[str] | None = None) -> int:
             print("  verification: service counts bit-identical to direct engine runs")
 
         if args.report:
-            Path(args.report).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+            atomic_write_json(Path(args.report), report)
         if args.output:
             output = Path(args.output)
             data: dict = {}
@@ -360,7 +361,7 @@ def main(argv: list[str] | None = None) -> int:
             entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
             entry["python"] = platform.python_version()
             entry.setdefault("benchmarks", {})[f"service_load_{mode}"] = result
-            output.write_text(json.dumps(data, indent=2) + "\n")
+            atomic_write_json(output, data)
             print(f"[{args.label}] merged service_load_{mode} into {output}")
         return status
     finally:

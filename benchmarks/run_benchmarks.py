@@ -51,7 +51,7 @@ from repro.core.cache_aware import cache_aware_randomized  # noqa: E402
 from repro.core.emit import CountingSink  # noqa: E402
 from repro.core.engine import TriangleEngine  # noqa: E402
 from repro.experiments.specs import make_spec  # noqa: E402
-from repro.experiments.store import ResultStore  # noqa: E402
+from repro.experiments.store import ResultStore, atomic_write_json  # noqa: E402
 from repro.extmem.machine import Machine  # noqa: E402
 from repro.extmem.stats import IOStats  # noqa: E402
 from repro.graph.generators import erdos_renyi_gnm  # noqa: E402
@@ -570,7 +570,7 @@ def main(argv: list[str] | None = None) -> int:
         entry["python"] = platform.python_version()
         entry.setdefault("benchmarks", {}).update(benchmarks)
         data["speedup"] = _speedups(runs)
-    args.output.write_text(json.dumps(data, indent=2) + "\n")
+    atomic_write_json(args.output, data)
 
     print(f"[{'golden:' + mode if args.pin_golden else args.label}] wrote {args.output}")
     for name, entry in data.get("speedup", {}).items():

@@ -1,0 +1,142 @@
+"""The checked-in findings baseline (``.repro-lint-baseline.json``).
+
+Adopting a new rule on an old tree should not force a big-bang cleanup:
+``repro lint --write-baseline`` records the pre-existing findings, and
+subsequent runs fail only on findings *not* in the baseline.  Entries are
+matched by ``(file, code, source-line hash)`` -- content, not line number
+-- so unrelated edits do not churn the file.
+
+Policy (enforced by CI's shrink guard and ``--strict``):
+
+* baseline entries may only disappear together with the code change that
+  resolves them -- never by hand-editing the file;
+* an entry whose finding no longer exists is *stale* and fails
+  ``--strict`` until it is removed (with the fix that removed it);
+* deliberate, permanent exemptions belong in inline suppressions with a
+  justification comment, not in the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.lint.findings import Finding
+
+BASELINE_SCHEMA = "repro-lint-baseline/v1"
+
+#: Default baseline path, relative to the linted tree's repo root.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """``count`` accepted findings of ``code`` in ``file`` on matching lines."""
+
+    file: str
+    code: str
+    source_hash: str
+    count: int = 1
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.file, self.code, self.source_hash)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "file": self.file,
+            "code": self.code,
+            "source_hash": self.source_hash,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_json(cls, document: dict[str, Any]) -> "BaselineEntry":
+        return cls(
+            file=str(document["file"]),
+            code=str(document["code"]),
+            source_hash=str(document["source_hash"]),
+            count=int(document.get("count", 1)),
+        )
+
+
+@dataclass
+class BaselineMatch:
+    """The three-way split of a run's findings against the baseline."""
+
+    new: list[Finding]
+    baselined: list[Finding]
+    stale: list[BaselineEntry]
+
+
+class Baseline:
+    """A set of accepted findings loaded from (or written to) disk."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+
+    def __len__(self) -> int:
+        return sum(entry.count for entry in self.entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        if not isinstance(document, dict) or document.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(f"{path} is not a {BASELINE_SCHEMA} document")
+        return cls([BaselineEntry.from_json(entry) for entry in document.get("entries", [])])
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts = Counter(finding.baseline_key for finding in findings)
+        return cls(
+            [
+                BaselineEntry(file=file, code=code, source_hash=digest, count=count)
+                for (file, code, digest), count in sorted(counts.items())
+            ]
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": BASELINE_SCHEMA,
+            "entries": [entry.to_json() for entry in sorted(self.entries, key=lambda e: e.key)],
+        }
+
+    def write(self, path: str | Path) -> None:
+        # Imported lazily: the experiments package is heavier than the
+        # analyzer and only needed when a baseline is actually (re)written.
+        from repro.experiments.store import atomic_write_json
+
+        atomic_write_json(path, self.to_json())
+
+    def match(self, findings: Sequence[Finding]) -> BaselineMatch:
+        """Split ``findings`` into new vs baselined, and find stale entries.
+
+        Each entry absorbs up to ``count`` findings with its key; findings
+        beyond that are new, and entries with leftover capacity are stale
+        (their finding was fixed, so the entry must be dropped with the fix).
+        """
+        capacity: Counter[tuple[str, str, str]] = Counter()
+        for entry in self.entries:
+            capacity[entry.key] += entry.count
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in sorted(findings):
+            if capacity[finding.baseline_key] > 0:
+                capacity[finding.baseline_key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            BaselineEntry(file=file, code=code, source_hash=digest, count=leftover)
+            for (file, code, digest), leftover in sorted(capacity.items())
+            if leftover > 0
+        ]
+        return BaselineMatch(new=new, baselined=baselined, stale=stale)

@@ -1,0 +1,65 @@
+"""The :class:`Finding` record every rule emits.
+
+A finding is content-addressed for baseline matching by ``(file, code,
+source line hash)`` rather than by line *number*, so unrelated edits above
+a baselined finding do not churn the baseline file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+
+def source_hash(source: str) -> str:
+    """Stable short hash of a finding's (stripped) source line."""
+    return hashlib.sha256(source.strip().encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Repo-relative posix path of the offending file.
+    file: str
+    #: 1-based line of the offending node.
+    line: int
+    #: 0-based column of the offending node.
+    column: int
+    #: Stable rule code, e.g. ``RPR104``.
+    code: str
+    #: Human-readable description of the violation.
+    message: str
+    #: The stripped source line the finding points at (baseline identity).
+    source: str = ""
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching: file, code, line-content hash."""
+        return (self.file, self.code, source_hash(self.source))
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_json(cls, document: dict[str, Any]) -> "Finding":
+        return cls(
+            file=str(document["file"]),
+            line=int(document["line"]),
+            column=int(document["column"]),
+            code=str(document["code"]),
+            message=str(document["message"]),
+            source=str(document.get("source", "")),
+        )
+
+    def render(self) -> str:
+        """The one-line human rendering: ``path:line:col: CODE message``."""
+        return f"{self.file}:{self.line}:{self.column + 1}: {self.code} {self.message}"

@@ -1,0 +1,59 @@
+"""Human and JSON renderings of a :class:`~..runner.LintReport`."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.lint.runner import LintReport
+from repro.analysis.lint.rules import rule_catalog
+
+#: Schema tag for the ``--format json`` document (CI archives these).
+REPORT_SCHEMA = "repro-lint/v1"
+
+
+def render_human(report: LintReport, strict: bool = False) -> str:
+    """The terminal rendering: one line per new finding, then a summary."""
+    lines: list[str] = [finding.render() for finding in report.new]
+    if report.stale:
+        if lines:
+            lines.append("")
+        lines.append("stale baseline entries (fixed findings -- remove with the fix):")
+        for entry in report.stale:
+            lines.append(f"  {entry.file}: {entry.code} x{entry.count} ({entry.source_hash})")
+    if report.unused_suppressions:
+        if lines:
+            lines.append("")
+        lines.append("unused suppressions:")
+        for unused in report.unused_suppressions:
+            lines.append(f"  {unused.file}:{unused.line}: ignore[{', '.join(unused.codes)}]")
+    summary = (
+        f"{report.files_checked} files checked: "
+        f"{len(report.new)} new, {len(report.baselined)} baselined, "
+        f"{len(report.stale)} stale baseline entries"
+    )
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    if report.exit_code(strict=strict) == 0 and not report.new:
+        lines.append("clean")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, strict: bool = False) -> dict[str, Any]:
+    """The machine rendering CI archives as an artifact."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "summary": {
+            "files_checked": report.files_checked,
+            "new": len(report.new),
+            "baselined": len(report.baselined),
+            "stale_baseline": len(report.stale),
+            "unused_suppressions": len(report.unused_suppressions),
+            "exit_code": report.exit_code(strict=strict),
+        },
+        "findings": [finding.to_json() for finding in report.new],
+        "baselined": [finding.to_json() for finding in report.baselined],
+        "stale_baseline": [entry.to_json() for entry in report.stale],
+        "unused_suppressions": [unused.to_json() for unused in report.unused_suppressions],
+        "rules": rule_catalog(),
+    }

@@ -1,0 +1,73 @@
+"""Inline ``# repro-lint: ignore[RPRnnn]`` suppressions.
+
+A suppression comment names the codes it silences, optionally followed by
+a free-form justification::
+
+    shm = grab()  # repro-lint: ignore[RPR104] -- released by the caller
+
+On a line of its own it applies to the next non-blank, non-comment line
+(so a long flagged statement can carry its justification above itself).
+Comments are found with :mod:`tokenize`, not regexes, so the marker text
+inside a string literal never suppresses anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_MARKER = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9*,\s]+)\]")
+
+
+@dataclass
+class Suppression:
+    """One suppression comment and the codes it silences."""
+
+    #: Line the comment sits on (1-based).
+    comment_line: int
+    #: Line the suppression applies to (the same line, or the next code line).
+    target_line: int
+    #: Codes silenced; ``{"*"}`` silences every rule.
+    codes: frozenset[str]
+    #: Codes that actually matched a finding (unused-suppression reporting).
+    used: set[str] = field(default_factory=set)
+
+    def matches(self, code: str) -> bool:
+        return "*" in self.codes or code in self.codes
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Every suppression comment in ``source``, with resolved target lines."""
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return []
+    comments: list[tuple[int, bool, frozenset[str]]] = []
+    code_lines: set[int] = set()
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            match = _MARKER.search(token.string)
+            if match is None:
+                continue
+            codes = frozenset(part.strip() for part in match.group(1).split(",") if part.strip())
+            own_line = token.line[: token.start[1]].strip() == ""
+            comments.append((token.start[0], own_line, codes))
+        elif token.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            code_lines.add(token.start[0])
+
+    suppressions: list[Suppression] = []
+    for line, own_line, codes in comments:
+        target = line
+        if own_line:
+            later = [number for number in code_lines if number > line]
+            target = min(later) if later else line
+        suppressions.append(Suppression(comment_line=line, target_line=target, codes=codes))
+    return suppressions

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the everyday uses of the library:
+Nine subcommands cover the everyday uses of the library:
 
 ``repro enumerate GRAPH``
     Enumerate the triangles of an edge-list file on a simulated machine and
@@ -39,6 +39,12 @@ Eight subcommands cover the everyday uses of the library:
     Talk to a running ``repro serve`` with the bundled zero-dependency
     client: health, stats, register/count/enum an edge-list file, list and
     watch jobs.
+
+``repro lint``
+    Run the AST-based invariant analyzer (:mod:`repro.analysis.lint`) over
+    the tree: registry-only dispatch, determinism on counted paths,
+    spawn-safe pool callables, resource lifecycle, atomic writes and lock
+    discipline, with inline suppressions and a checked-in baseline.
 
 The simulated machine is configured with ``--memory`` and ``--block``
 (in words, i.e. records); see DESIGN.md for the cost model.
@@ -323,6 +329,47 @@ def _build_parser() -> argparse.ArgumentParser:
     job_action.add_argument("id", help="job id")
     watch_action = client_actions.add_parser("watch", help="follow a job's server-sent events")
     watch_action.add_argument("id", help="job id")
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the AST-based invariant analyzer over the tree"
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks"],
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    lint_parser.add_argument(
+        "--root", default=".", help="repo root that paths and the baseline are relative to"
+    )
+    lint_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries (CI gate mode)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (json is the repro-lint/v1 document CI archives)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default <root>/.repro-lint-baseline.json)",
+    )
+    lint_parser.add_argument(
+        "--no-baseline", action="store_true", help="report every finding, ignoring the baseline"
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings into the baseline file and exit",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
 
     return parser
 
@@ -653,6 +700,42 @@ def _command_client(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(arguments: argparse.Namespace) -> int:
+    # Imported here so the analyzer stays out of every other subcommand's
+    # startup path.
+    import json
+    from pathlib import Path
+
+    from repro.analysis.lint import (
+        Baseline,
+        render_human,
+        render_json,
+        rule_catalog,
+        run_lint,
+    )
+    from repro.analysis.lint.baseline import DEFAULT_BASELINE_NAME
+
+    if arguments.list_rules:
+        for rule in rule_catalog():
+            print(f"{rule['code']} {rule['name']}: {rule['summary']}")
+        return 0
+    root = Path(arguments.root)
+    baseline_path = (
+        Path(arguments.baseline) if arguments.baseline else root / DEFAULT_BASELINE_NAME
+    )
+    baseline = None if arguments.no_baseline else Baseline.load(baseline_path)
+    report = run_lint(arguments.paths, root=root, baseline=baseline)
+    if arguments.write_baseline:
+        Baseline.from_findings(report.all_findings).write(baseline_path)
+        print(f"wrote {len(report.all_findings)} findings to {baseline_path}")
+        return 0
+    if arguments.output_format == "json":
+        print(json.dumps(render_json(report, strict=arguments.strict), indent=2, sort_keys=True))
+    else:
+        print(render_human(report, strict=arguments.strict))
+    return report.exit_code(strict=arguments.strict)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``repro`` console script."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -673,6 +756,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiments": _command_experiments,
         "serve": _command_serve,
         "client": _command_client,
+        "lint": _command_lint,
     }
     return handlers[arguments.command](arguments)
 

@@ -15,7 +15,7 @@ table of paper sections, I/O bounds, substrate kinds and typed options.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator, ItemsView, KeysView, ValuesView
 
 from repro.analysis.model import MachineParams
 from repro.core.emit import TriangleSink
@@ -46,27 +46,27 @@ class _AlgorithmsView(dict):
         self._refresh()
         return dict.__contains__(self, name)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         self._refresh()
         return dict.__iter__(self)
 
-    def __getitem__(self, name):
+    def __getitem__(self, name: str) -> str:
         self._refresh()
         return dict.__getitem__(self, name)
 
-    def get(self, name, default=None):
+    def get(self, name: str, default: Any = None) -> Any:
         self._refresh()
         return dict.get(self, name, default)
 
-    def keys(self):
+    def keys(self) -> KeysView[str]:
         self._refresh()
         return dict.keys(self)
 
-    def values(self):
+    def values(self) -> ValuesView[str]:
         self._refresh()
         return dict.values(self)
 
-    def items(self):
+    def items(self) -> ItemsView[str, str]:
         self._refresh()
         return dict.items(self)
 

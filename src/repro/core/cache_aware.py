@@ -182,7 +182,7 @@ def partition_by_coloring(
     requires of its adjacency sources.
     """
 
-    def sort_key(edge: RankedEdge):
+    def sort_key(edge: RankedEdge) -> tuple[int, int, int, int]:
         u, v = edge
         return (coloring.color_of(u), coloring.color_of(v), u, v)
 

@@ -118,7 +118,7 @@ def triangles_through_vertex(
     return emitted
 
 
-def _concatenate(machine: Machine, sources: Sequence[Readable]):
+def _concatenate(machine: Machine, sources: Sequence[Readable]) -> tuple[Readable, bool]:
     """A single readable covering all sources, plus a flag marking temporaries.
 
     With a single source we avoid the copy; with several we concatenate them
@@ -140,7 +140,7 @@ def _filter_by_membership(
     key: Callable[[RankedEdge], int],
     excluded: Iterable[int],
     skip_vertex: int,
-):
+) -> Readable:
     """Merge join: keep edges whose ``key`` endpoint appears in ``members_sorted``.
 
     Both inputs must be sorted by the join key (ascending).  Returns a new

@@ -203,12 +203,14 @@ def canonicalize_edges_python(
             raise GraphFormatError("vertex ids must be non-negative")
         unique.add((u, v) if u < v else (v, u))
     degrees: dict[int, int] = {}
+    # repro-lint: ignore[RPR102] -- integer increments commute; `degrees` is only read via sorted()
     for u, v in unique:
         degrees[u] = degrees.get(u, 0) + 1
         degrees[v] = degrees.get(v, 0) + 1
     ranked = sorted(degrees, key=lambda vertex: (degrees[vertex], vertex))
     rank_of = {vertex: rank for rank, vertex in enumerate(ranked)}
     out = []
+    # repro-lint: ignore[RPR102] -- visit order cannot leak: `out` is sorted before returning
     for u, v in unique:
         ru, rv = rank_of[u], rank_of[v]
         out.append((ru, rv) if ru < rv else (rv, ru))

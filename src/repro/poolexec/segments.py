@@ -72,7 +72,8 @@ _STATS = {
 
 def segment_stats() -> dict[str, int]:
     """A snapshot of the publish/attach counters of *this* process."""
-    return dict(_STATS)
+    with _LOCK:
+        return dict(_STATS)
 
 
 @dataclass(frozen=True)
@@ -158,9 +159,11 @@ class SegmentHandle:
     @property
     def closed(self) -> bool:
         """True once the underlying segment has been unlinked."""
-        return self._unlinked
+        with _LOCK:
+            return self._unlinked
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        # repro-lint: ignore[RPR106] -- best-effort debug snapshot; repr must never block on a lock
         state = "closed" if self._unlinked else f"refs={self._refs}"
         return f"SegmentHandle({self.name}, {self.length} edges, {state})"
 
@@ -213,8 +216,18 @@ def publish_edges(edges: Sequence[RankedEdge]) -> SegmentHandle | None:
             return existing
 
     shm = _create_segment(len(payload))
-    shm.buf[: len(payload)] = payload
-    handle = SegmentHandle(shm, length=len(edges), token=token)
+    try:
+        shm.buf[: len(payload)] = payload
+        handle = SegmentHandle(shm, length=len(edges), token=token)
+    except BaseException:
+        # The segment exists but was never registered: unlink it here or
+        # it leaks in /dev/shm until reboot.
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        raise
     with _LOCK:
         _LIVE[handle.name] = handle
         _BY_TOKEN[token] = handle
@@ -272,21 +285,23 @@ _ATTACH_CACHE_LIMIT = 8
 
 def attached_edges(ref: SegmentRef) -> list[RankedEdge]:
     """The full decoded edge list of ``ref``'s segment (cached per process)."""
-    cached = _ATTACHED.get(ref.name)
-    if cached is not None:
-        _ATTACHED.move_to_end(ref.name)
-        _STATS["attach_cache_hits"] += 1
-        return cached
+    with _LOCK:
+        cached = _ATTACHED.get(ref.name)
+        if cached is not None:
+            _ATTACHED.move_to_end(ref.name)
+            _STATS["attach_cache_hits"] += 1
+            return cached
     shm = _open_untracked(ref.name)
     try:
         raw = bytes(shm.buf[: ref.length * _EDGE_BYTES])
     finally:
         shm.close()
     edges = _unpack_edges(raw, ref.length)
-    _ATTACHED[ref.name] = edges
-    while len(_ATTACHED) > _ATTACH_CACHE_LIMIT:
-        _ATTACHED.popitem(last=False)
-    _STATS["attached_segments"] += 1
+    with _LOCK:
+        _ATTACHED[ref.name] = edges
+        while len(_ATTACHED) > _ATTACH_CACHE_LIMIT:
+            _ATTACHED.popitem(last=False)
+        _STATS["attached_segments"] += 1
     return edges
 
 
@@ -299,7 +314,9 @@ def resolve_edges(source: EdgeSource) -> list[RankedEdge]:
 
 def _close_all_live() -> None:
     """``atexit`` sweep: unlink every segment this process still owns."""
-    for handle in list(_LIVE.values()):
+    with _LOCK:
+        handles = list(_LIVE.values())
+    for handle in handles:
         with _LOCK:
             handle._refs = min(handle._refs, 1)
         handle.close()

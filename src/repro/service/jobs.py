@@ -147,7 +147,9 @@ class GraphEntry:
         self.num_vertices = graph.num_vertices
         self.num_edges = self.engine.num_edges
 
-    def to_json(self) -> dict[str, Any]:
+    def to_json(self, jobs: int) -> dict[str, Any]:
+        """The graph document; ``jobs`` is the job count, which the caller
+        must read under the manager lock (``job_ids`` is guarded there)."""
         return {
             "id": self.graph_id,
             "name": self.name,
@@ -155,7 +157,7 @@ class GraphEntry:
             "num_vertices": self.num_vertices,
             "num_edges": self.num_edges,
             "created_at": self.created_at,
-            "jobs": len(self.job_ids),
+            "jobs": jobs,
         }
 
 
@@ -419,6 +421,20 @@ class JobManager:
         with self._lock:
             return sorted(self._graphs.values(), key=lambda entry: entry.created_at)
 
+    def describe_graph(self, graph_id: str) -> dict[str, Any]:
+        """One graph's JSON document, with the job count read under the lock."""
+        with self._lock:
+            entry = self._graphs.get(graph_id)
+            if entry is not None:
+                return entry.to_json(jobs=len(entry.job_ids))
+        raise not_found("graph", graph_id)
+
+    def describe_graphs(self) -> list[dict[str, Any]]:
+        """Every graph's JSON document (index endpoint), lock held once."""
+        with self._lock:
+            entries = sorted(self._graphs.values(), key=lambda entry: entry.created_at)
+            return [entry.to_json(jobs=len(entry.job_ids)) for entry in entries]
+
     def drop_graph(self, graph_id: str) -> None:
         """Unregister a graph and release its engine's substrate cache."""
         with self._lock:
@@ -469,6 +485,7 @@ class JobManager:
                 source="store",
             )
             return job, True
+        # repro-lint: ignore[RPR103] -- ThreadPoolExecutor shares the process; nothing is pickled
         future = self._executor.submit(self._execute, job, entry, spec)
         with self._lock:
             self._futures[job_id] = future
@@ -648,6 +665,7 @@ class _StackedLocks:
 
     def __enter__(self) -> "_StackedLocks":
         for lock in self._locks:
+            # repro-lint: ignore[RPR104] -- paired release in __exit__; this IS the with-block plumbing
             lock.acquire()
         return self
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 import base64
 import binascii
 import json
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.exceptions import ReproError
 
@@ -113,7 +113,7 @@ def sse_event(event: str, data: Any, event_id: int | None = None) -> bytes:
     return ("\n".join(lines) + "\n\n").encode()
 
 
-def parse_sse(lines) -> Any:
+def parse_sse(lines: Iterable[str | bytes]) -> Any:
     """Yield ``(event, id, data)`` triples from an iterable of SSE lines.
 
     ``lines`` may be ``str`` or ``bytes`` (the client hands over the raw

@@ -248,16 +248,17 @@ class TriangleService:
         )
 
     def handle_graphs_index(self, request: _Handler, query: dict[str, str]) -> None:
-        request._send_json({"graphs": [entry.to_json() for entry in self.manager.graphs()]})
+        request._send_json({"graphs": self.manager.describe_graphs()})
 
     def handle_graphs_create(self, request: _Handler, query: dict[str, str]) -> None:
         entry, created = self.manager.register_graph(request._read_body())
         request._send_json(
-            {"graph": entry.to_json(), "created": created}, status=201 if created else 200
+            {"graph": self.manager.describe_graph(entry.graph_id), "created": created},
+            status=201 if created else 200,
         )
 
     def handle_graph_get(self, request: _Handler, query: dict[str, str], graph_id: str) -> None:
-        request._send_json({"graph": self.manager.graph(graph_id).to_json()})
+        request._send_json({"graph": self.manager.describe_graph(graph_id)})
 
     def handle_graph_delete(self, request: _Handler, query: dict[str, str], graph_id: str) -> None:
         self.manager.drop_graph(graph_id)

@@ -1,0 +1,79 @@
+"""CI guard: the lint baseline may only shrink together with a code fix.
+
+``.repro-lint-baseline.json`` records accepted pre-existing findings.  The
+honest way to remove an entry is to fix the finding, which necessarily
+touches the offending file.  Deleting or down-counting an entry while
+touching *only* the baseline file would silently re-accept the debt as
+"clean" -- this script rejects that.
+
+Usage (from CI, on pull requests)::
+
+    python tools/check_baseline_shrink.py origin/<base-branch>
+
+Exit 0 when every removed/shrunk entry's file is part of the diff against
+the base ref; exit 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+def _git(*arguments: str) -> str:
+    return subprocess.run(["git", *arguments], check=True, capture_output=True, text=True).stdout
+
+
+def _entries(document_text: str) -> dict[tuple[str, str, str], int]:
+    document = json.loads(document_text)
+    counts: dict[tuple[str, str, str], int] = {}
+    for entry in document.get("entries", []):
+        key = (str(entry["file"]), str(entry["code"]), str(entry["source_hash"]))
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print(f"usage: {Path(__file__).name} <base-ref>", file=sys.stderr)
+        return 2
+    base_ref = argv[0]
+
+    try:
+        base_text = _git("show", f"{base_ref}:{BASELINE_NAME}")
+    except subprocess.CalledProcessError:
+        print(f"no baseline at {base_ref}: nothing can have shrunk")
+        return 0
+    baseline_path = Path(BASELINE_NAME)
+    head_text = baseline_path.read_text(encoding="utf-8") if baseline_path.exists() else "{}"
+
+    base_entries = _entries(base_text)
+    head_entries = _entries(head_text)
+    diff_output = _git("diff", "--name-only", f"{base_ref}...HEAD")
+    changed_files = set(diff_output.splitlines()) - {BASELINE_NAME}
+
+    violations: list[str] = []
+    for key, base_count in sorted(base_entries.items()):
+        file, code, digest = key
+        if head_entries.get(key, 0) < base_count and file not in changed_files:
+            violations.append(
+                f"{file}: {code} ({digest}) left the baseline, but {file} is "
+                "not in this change -- baseline entries are removed by fixing "
+                "the finding, not by editing the baseline"
+            )
+    if violations:
+        print("baseline shrink-by-edit rejected:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    removed = sum(max(0, count - head_entries.get(key, 0)) for key, count in base_entries.items())
+    print(f"baseline ok: {removed} entries removed, all alongside code changes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
