@@ -191,7 +191,9 @@ def _run_in_memory(context: SubstrateContext, sink: Any, options: AlgorithmOptio
 
 
 # The vectorized in-memory backend registers ``vector_count`` /
-# ``vector_enum`` on import, riding the same lazy _ensure_builtins path as
-# the registrations above (repro.fastpath never imports back into this
-# module, so the import is cycle-free).
+# ``vector_enum`` on import, and the out-of-core backend registers
+# ``oocore_count`` / ``oocore_enum``, both riding the same lazy
+# _ensure_builtins path as the registrations above (repro.fastpath never
+# imports back into this module, so the imports are cycle-free).
 import repro.fastpath.algorithms  # noqa: E402,F401
+import repro.fastpath.oocore  # noqa: E402,F401

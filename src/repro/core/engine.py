@@ -603,18 +603,20 @@ class TriangleEngine:
         """Release run-to-run substrate state held by this engine.
 
         Sharded runs park their published shared-memory segments in the
-        substrate cache so repeated runs re-transfer nothing; closing the
-        engine unlinks them (idempotently) and drops every ``poolexec:``
-        cache entry.  Plain derived representations (e.g. the vectorized
-        CSR) are dropped too; the engine stays usable -- the next run simply
-        re-derives what it needs.  Also safe to skip entirely: segments are
-        unlinked at interpreter exit regardless.
+        substrate cache so repeated runs re-transfer nothing, and the
+        out-of-core backend parks its spill-directory store there for the
+        same reason; closing the engine releases every closeable cache
+        entry (idempotently -- segments unlink, spill directories are
+        removed) and drops the rest.  Plain derived representations (e.g.
+        the vectorized CSR) are dropped too; the engine stays usable -- the
+        next run simply re-derives what it needs.  Also safe to skip
+        entirely: segments and spill directories are reclaimed at
+        interpreter exit regardless.
         """
-        from repro.poolexec import SegmentHandle
-
         for key, value in list(self._substrate_cache.items()):
-            if isinstance(value, SegmentHandle):
-                value.close()
+            closer = getattr(value, "close", None)
+            if callable(closer):
+                closer()
             del self._substrate_cache[key]
 
     def __enter__(self) -> "TriangleEngine":

@@ -25,6 +25,11 @@ Layout:
   arrays (accelerates the ``shards=c`` partitioning).
 * :mod:`repro.fastpath.algorithms` -- the ``vector_count`` / ``vector_enum``
   registry entries (imported lazily with the built-ins).
+* :mod:`repro.fastpath.oocore` -- the out-of-core sibling: spill-backed
+  canonicalisation and memmapped CSR kernels, registered as
+  ``oocore_count`` / ``oocore_enum`` (imported lazily with the built-ins
+  too; like the rest of the package it degrades to a clear
+  :class:`~repro.exceptions.FastPathUnavailableError` without NumPy).
 """
 
 from repro.fastpath.arrays import (

@@ -97,7 +97,14 @@ def pack_edges(edges: "Sequence[tuple[int, int]] | numpy.ndarray", dtype: str = 
         )
         array = flat.reshape(-1, 2)
     if array.size == 0:
-        return array.reshape(0, 2).astype(module.int64 if dtype == "int64" else module.int32)
+        # Route the empty shape through resolve_dtype too: an invalid
+        # ``dtype`` option must raise here exactly as it would on a
+        # non-empty input (and ``auto`` stays int32 -- zero vertices fit).
+        return array.reshape(0, 2).astype(resolve_dtype(dtype, 0))
+    if int(array.min()) < 0:
+        # Negative ids would otherwise flow silently into ``num_vertices``
+        # (via ``max() + 1``) and corrupt CSR indexing downstream.
+        raise GraphFormatError("vertex ids must be non-negative")
     num_vertices = int(array.max()) + 1
     return module.ascontiguousarray(array, dtype=resolve_dtype(dtype, num_vertices))
 

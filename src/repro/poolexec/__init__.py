@@ -37,10 +37,12 @@ from repro.poolexec.pool import (
 )
 from repro.poolexec.segments import (
     EdgeSource,
+    MemmapSlice,
     SegmentHandle,
     SegmentRef,
     SegmentSlice,
     attached_edges,
+    memmap_slice_edges,
     publish_edges,
     resolve_edges,
     segment_stats,
@@ -53,6 +55,7 @@ __all__ = [
     "POOL_MODES",
     "EdgeSource",
     "EphemeralPoolProvider",
+    "MemmapSlice",
     "PersistentPoolProvider",
     "PoolLease",
     "SegmentHandle",
@@ -60,6 +63,7 @@ __all__ = [
     "SegmentSlice",
     "SharedWorkerPool",
     "attached_edges",
+    "memmap_slice_edges",
     "provider_for",
     "publish_edges",
     "resolve_edges",

@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Any, Iterator
 
@@ -162,13 +163,16 @@ class ServiceClient:
         cursor: str | None = None
         while True:
             path = f"/v1/jobs/{job_id}/triangles"
-            params = []
+            # urlencode, not hand-concatenation: cursors are opaque strings
+            # (base64url today, but ``=`` padding and any future alphabet
+            # must survive the round trip percent-encoded).
+            params: dict[str, Any] = {}
             if limit is not None:
-                params.append(f"limit={limit}")
+                params["limit"] = limit
             if cursor is not None:
-                params.append(f"cursor={cursor}")
+                params["cursor"] = cursor
             if params:
-                path += "?" + "&".join(params)
+                path += "?" + urllib.parse.urlencode(params)
             page = self._request("GET", path)
             for triangle in page["triangles"]:
                 yield tuple(triangle)

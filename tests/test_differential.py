@@ -25,6 +25,7 @@ from repro.analysis.model import MachineParams
 from repro.core.baselines.in_memory import triangle_set
 from repro.core.engine import TriangleEngine
 from repro.core.registry import algorithm_names
+from repro.fastpath.arrays import HAVE_NUMPY
 from repro.experiments.workloads import (
     bipartite_random,
     community,
@@ -64,17 +65,27 @@ def run_all_algorithms(
     params = MachineParams(memory_words=machine[0], block_words=machine[1])
     engine = TriangleEngine.from_canonical_edges(edges, params=params)
     oracle = triangle_set(edges)
-    for algorithm in algorithms or algorithm_names():
-        result = engine.run(algorithm, seed=seed, collect=True)
-        emitted = {tuple(sorted(t)) for t in result.triangles}
-        assert result.triangle_count == len(result.triangles)
-        assert emitted == oracle, (
-            f"{algorithm} drifted on {len(edges)} edges (machine {machine}, seed {seed}): "
-            f"missing {sorted(oracle - emitted)[:5]}, extra {sorted(emitted - oracle)[:5]}"
-        )
-        # Count-only runs must agree with the collected run (the fast path
-        # may dispatch to a registered counter instead of the runner).
-        assert engine.count(algorithm, seed=seed) == len(oracle)
+    try:
+        for algorithm in algorithms or algorithm_names():
+            if algorithm.startswith("oocore") and not HAVE_NUMPY:
+                # Unlike vector_*, the out-of-core backend has no
+                # pure-Python fallback: it raises FastPathUnavailableError
+                # by contract on a bare interpreter.
+                continue
+            result = engine.run(algorithm, seed=seed, collect=True)
+            emitted = {tuple(sorted(t)) for t in result.triangles}
+            assert result.triangle_count == len(result.triangles)
+            assert emitted == oracle, (
+                f"{algorithm} drifted on {len(edges)} edges (machine {machine}, seed {seed}): "
+                f"missing {sorted(oracle - emitted)[:5]}, extra {sorted(emitted - oracle)[:5]}"
+            )
+            # Count-only runs must agree with the collected run (the fast path
+            # may dispatch to a registered counter instead of the runner).
+            assert engine.count(algorithm, seed=seed) == len(oracle)
+    finally:
+        # Releases cached substrate state -- in particular the out-of-core
+        # backend's spill directory, which must not outlive the engine.
+        engine.close()
 
 
 @settings(
@@ -130,6 +141,39 @@ def test_fastpath_matches_oracle_at_scale(family, num_edges, graph_seed, chunk_s
 
 
 @pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_oocore_matches_fast_backends(family, tmp_path):
+    """The memmap backend vs ``vector_enum`` vs ``in_memory``, per family.
+
+    Beyond the registry-wide sweep above, this leg pins the out-of-core
+    backend against the two in-memory references on a larger workload, at a
+    chunking small enough that every canonicalisation pass runs multi-chunk
+    (external runs + k-way merge actually merge), and asserts the spill
+    directory holds no ``*.mmap`` file once the engine is closed.
+    """
+    pytest.importorskip("numpy")
+    edges = build_edges(family, 500, 9)
+    spill = tmp_path / "spill"
+    engine = TriangleEngine.from_canonical_edges(edges)
+    oracle = triangle_set(edges)
+    options = {"spill_dir": str(spill), "chunk_rows": 64}
+    sets = {}
+    for algorithm in ("oocore_enum", "oocore_count", "vector_enum", "in_memory"):
+        run_options = options if algorithm.startswith("oocore") else None
+        result = engine.run(algorithm, collect=True, options=run_options)
+        sets[algorithm] = {tuple(sorted(t)) for t in result.triangles}
+        assert result.triangle_count == len(oracle)
+    assert sets["oocore_enum"] == sets["vector_enum"] == sets["in_memory"] == oracle
+    assert sets["oocore_count"] == oracle
+    # Count-only path (the registered counter adapter) agrees too.
+    assert engine.count("oocore_count", options=options) == len(oracle)
+    # The spill directory is in use while the engine holds the cached store...
+    assert list(spill.rglob("*.mmap")), "expected live spill files while the engine is open"
+    engine.close()
+    # ...and empty of spill files once it is closed.
+    assert not list(spill.rglob("*.mmap")), "engine close leaked spill files"
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
 def test_sharded_runs_agree_with_oracle(family):
     """Colour-sharded execution joins the differential net (one per family)."""
     edges = build_edges(family, 70, 5)
@@ -159,5 +203,7 @@ def test_differential_covers_every_registered_algorithm():
         "in_memory",
         "vector_count",
         "vector_enum",
+        "oocore_count",
+        "oocore_enum",
     }
     assert expected <= names

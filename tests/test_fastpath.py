@@ -106,6 +106,25 @@ class TestCanonicalisation:
         assert packed.shape == (3, 2) and packed.dtype == np.int32
         assert pack_edges(packed, dtype="int64").dtype == np.int64
 
+    def test_pack_edges_rejects_negative_ids(self):
+        # Regression: negative ids used to flow silently into num_vertices
+        # (max() + 1) and corrupt CSR indexing downstream.
+        with pytest.raises(GraphFormatError, match="non-negative"):
+            pack_edges([(0, 1), (-2, 3)])
+        with pytest.raises(GraphFormatError, match="non-negative"):
+            pack_edges(np.array([[0, 1], [2, -1]]))
+
+    def test_pack_edges_empty_path_validates_dtype(self):
+        # The empty reshape goes through resolve_dtype like every other
+        # input: auto stays int32 (zero vertices fit), an explicit int64 is
+        # honoured, and an invalid dtype raises instead of silently
+        # returning int32.
+        assert pack_edges([]).dtype == np.int32
+        assert pack_edges([], dtype="int32").dtype == np.int32
+        assert pack_edges([], dtype="int64").dtype == np.int64
+        with pytest.raises(ValueError, match="dtype"):
+            pack_edges([], dtype="bogus")
+
     def test_resolve_dtype_policy(self):
         assert resolve_dtype("auto", 100) == np.int32
         assert resolve_dtype("auto", 2**31) == np.int64
@@ -114,6 +133,17 @@ class TestCanonicalisation:
             resolve_dtype("int32", 2**31)
         with pytest.raises(ValueError, match="dtype"):
             resolve_dtype("float32", 100)
+
+    def test_resolve_dtype_int32_boundary_is_exact(self):
+        # 2^31 - 1 vertices means the largest id is 2^31 - 2, which int32
+        # still holds; one more vertex crosses into int64 (and makes an
+        # explicit int32 request an error, not an overflow).
+        assert resolve_dtype("auto", 2**31 - 1) == np.int32
+        assert resolve_dtype("int32", 2**31 - 1) == np.int32
+        assert resolve_dtype("auto", 2**31) == np.int64
+        assert resolve_dtype("int64", 2**31 - 1) == np.int64
+        with pytest.raises(ValueError, match="int32"):
+            resolve_dtype("int32", 2**31)
 
 
 # ----------------------------------------------------------------------

@@ -18,8 +18,9 @@ from repro.core.registry import (
 )
 from repro.exceptions import AlgorithmError, OptionsError, RegistrationError
 
-#: The seven paper/baseline algorithms plus the two vectorized in-memory
-#: registrations of :mod:`repro.fastpath.algorithms`.
+#: The seven paper/baseline algorithms plus the vectorized in-memory
+#: registrations of :mod:`repro.fastpath.algorithms` and the out-of-core
+#: pair of :mod:`repro.fastpath.oocore`.
 BUILTINS = [
     "cache_aware",
     "deterministic",
@@ -30,6 +31,8 @@ BUILTINS = [
     "in_memory",
     "vector_count",
     "vector_enum",
+    "oocore_count",
+    "oocore_enum",
 ]
 
 
@@ -151,7 +154,7 @@ class TestFreshInterpreterBehaviour:
         completed = self._run(
             "from repro.core.api import ALGORITHMS\n"
             "assert ALGORITHMS.get('cache_aware') is not None\n"
-            "assert len(ALGORITHMS.values()) == 9\n"
+            "assert len(ALGORITHMS.values()) == 11\n"
         )
         assert completed.returncode == 0, completed.stderr
 

@@ -19,6 +19,7 @@ import subprocess
 import sys
 import threading
 import time
+import urllib.parse
 
 import pytest
 
@@ -313,6 +314,52 @@ class TestEventsAndPagination:
         with TriangleEngine(build_workload(WORKLOAD).graph) as engine:
             direct = engine.run("cache_aware", params=MachineParams(512, 16), seed=0, collect=True)
         assert paged == list(direct.triangles)
+
+    def test_triangles_percent_encodes_cursor_params(self):
+        """The pagination walker urlencodes its query string (no raw splicing).
+
+        Regression: ``triangles`` used to hand-concatenate ``cursor=<raw>``,
+        which breaks the moment a cursor carries ``=`` padding or any other
+        reserved character.  Pin the exact encoded URLs against a canned
+        transport.
+        """
+        stub = ServiceClient("http://example.invalid")
+        paths: list[str] = []
+        pages = [
+            {"triangles": [[0, 1, 2]], "next_cursor": "abc+/=="},
+            {"triangles": [[3, 4, 5]], "next_cursor": None},
+        ]
+
+        def canned(method, path, **_kwargs):
+            paths.append(path)
+            return pages[len(paths) - 1]
+
+        stub._request = canned  # type: ignore[method-assign]
+        assert list(stub.triangles("job-1", limit=7)) == [(0, 1, 2), (3, 4, 5)]
+        assert paths[0] == "/v1/jobs/job-1/triangles?limit=7"
+        assert paths[1] == "/v1/jobs/job-1/triangles?limit=7&cursor=abc%2B%2F%3D%3D"
+
+    def test_padded_cursor_round_trips_through_client(self, client):
+        """A cursor carrying explicit ``=`` padding survives the wire encoded.
+
+        The server mints cursors with padding stripped, but ``decode_cursor``
+        accepts the padded form too -- so a padded cursor is a valid client
+        input and must arrive intact through the percent-encoded query.
+        """
+        graph_id = register(client)
+        job_id = client.submit(graph_id, mode="enum")["job"]["id"]
+        client.wait(job_id)
+        expected = list(client.triangles(job_id))
+        padded = None
+        for offset in (1, 10, 100):  # json lengths differ, one needs padding
+            cursor = encode_cursor(job_id, offset)
+            if len(cursor) % 4:
+                padded = cursor + "=" * (-len(cursor) % 4)
+                break
+        assert padded is not None and padded.endswith("=")
+        query = urllib.parse.urlencode({"cursor": padded, "limit": 5})
+        page = client._request("GET", f"/v1/jobs/{job_id}/triangles?{query}")
+        assert [tuple(t) for t in page["triangles"]] == expected[offset : offset + 5]
 
     def test_pagination_cursor_errors(self, client):
         graph_id = register(client)
